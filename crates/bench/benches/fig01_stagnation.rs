@@ -1,0 +1,32 @@
+//! Regenerates Fig 1 (performance stagnation and utilization collapse of a
+//! conventional controller as the die count grows) and times one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig01;
+
+fn regenerate() {
+    let result = fig01::run(&bench_scale());
+    println!("{}", result.bandwidth_table());
+    println!("{}", result.utilization_table());
+    for kb in [4, 16, 64, 128] {
+        println!(
+            "stagnation at {kb:>4} KB transfers: {}",
+            if result.stagnates(kb) { "yes" } else { "no" }
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig01");
+    group.sample_size(10);
+    group.bench_function("vas_baseline_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Vas))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

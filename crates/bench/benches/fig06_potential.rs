@@ -1,0 +1,31 @@
+//! Regenerates Fig 6 (resource utilization and improvement potential) and times a
+//! PAS run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig06;
+
+fn regenerate() {
+    let result = fig06::run(&bench_scale(), None);
+    println!("{}", result.render());
+    println!(
+        "mean utilization  VAS {:.1}%  PAS {:.1}%  relaxed {:.1}%",
+        result.mean_utilization(SchedulerKind::Vas) * 100.0,
+        result.mean_utilization(SchedulerKind::Pas) * 100.0,
+        result.mean_utilization(SchedulerKind::Spk3) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(10);
+    group.bench_function("pas_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Pas))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Fig 10 (bandwidth, IOPS, latency, and queue stall for the five
+//! schedulers across the Table 1 workloads) and times an SPK3 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig10;
+
+fn regenerate() {
+    let comparison = fig10::run(&bench_scale(), None);
+    println!("{}", comparison.bandwidth_table());
+    println!("{}", comparison.iops_table());
+    println!("{}", comparison.latency_table());
+    println!("{}", comparison.queue_stall_table());
+    println!(
+        "SPK3 vs VAS: {:.2}x bandwidth (paper: 1.8-2.2x), {:.1}% shorter latency (paper: >=56.6%)",
+        comparison.bandwidth_speedup(SchedulerKind::Spk3, SchedulerKind::Vas),
+        comparison.latency_reduction(SchedulerKind::Spk3, SchedulerKind::Vas) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("spk3_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Spk3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

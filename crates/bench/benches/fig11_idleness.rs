@@ -1,0 +1,29 @@
+//! Regenerates Fig 11 (inter- and intra-chip idleness) and times an SPK2 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::{fig10, fig11};
+
+fn regenerate() {
+    let comparison = fig10::run(&bench_scale(), None);
+    println!("{}", fig11::inter_chip_table(&comparison));
+    println!("{}", fig11::intra_chip_table(&comparison));
+    println!(
+        "SPK3 inter-chip idleness improvement over VAS: {:.1} percentage points (paper: ~46%)",
+        fig11::inter_chip_improvement(&comparison, SchedulerKind::Spk3, SchedulerKind::Vas) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("spk2_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Spk2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

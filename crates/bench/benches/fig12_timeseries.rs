@@ -1,0 +1,35 @@
+//! Regenerates Fig 12 (msnfs1 latency time series for VAS, PAS, SPK3) and times a
+//! series-recording run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig12;
+
+fn regenerate() {
+    // The paper replays the first 3,000 I/Os of msnfs1; the bench uses 600 to stay
+    // quick while preserving the ordering.
+    let result = fig12::run(&bench_scale(), 600);
+    println!("{}", result.render());
+    let vas = result.mean_latency(SchedulerKind::Vas);
+    let spk3 = result.mean_latency(SchedulerKind::Spk3);
+    if vas > 0.0 {
+        println!(
+            "SPK3 mean latency is {:.1}% below VAS over the window (paper: ~80% below)",
+            (1.0 - spk3 / vas) * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("vas_series_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Vas))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Fig 13 (execution-time breakdown for PAS and SPK3) and times a
+//! PAS run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::{fig10, fig13};
+
+fn regenerate() {
+    let comparison = fig10::run(&bench_scale(), None);
+    println!("{}", fig13::breakdown_table(&comparison, SchedulerKind::Pas));
+    println!("{}", fig13::breakdown_table(&comparison, SchedulerKind::Spk3));
+    println!(
+        "mean system idle: PAS {:.1}%, SPK3 {:.1}% (paper: SPK3 removes ~40% of PAS idleness)",
+        fig13::mean_idle(&comparison, SchedulerKind::Pas) * 100.0,
+        fig13::mean_idle(&comparison, SchedulerKind::Spk3) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("pas_breakdown_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Pas))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Fig 14 (flash-level parallelism breakdown for PAS and the Sprinkler
+//! variants) and times an SPK1 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::{fig10, fig14};
+
+fn regenerate() {
+    let comparison = fig10::run(&bench_scale(), None);
+    for kind in fig14::FIG14_SCHEDULERS {
+        println!("{}", fig14::flp_table(&comparison, kind));
+    }
+    println!(
+        "mean FLP level: PAS {:.2}, SPK1 {:.2}, SPK2 {:.2}, SPK3 {:.2} (paper: SPK1 highest, SPK3 balanced)",
+        fig14::mean_flp_level(&comparison, SchedulerKind::Pas),
+        fig14::mean_flp_level(&comparison, SchedulerKind::Spk1),
+        fig14::mean_flp_level(&comparison, SchedulerKind::Spk2),
+        fig14::mean_flp_level(&comparison, SchedulerKind::Spk3)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("spk1_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Spk1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

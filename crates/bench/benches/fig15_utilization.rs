@@ -1,0 +1,34 @@
+//! Regenerates Fig 15 (chip utilization vs transfer size for 64/256/1024 chips)
+//! and times one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig15;
+
+fn regenerate() {
+    // The bench regenerates the 64- and 256-chip panels; the 1024-chip panel is
+    // part of the full-scale run recorded in EXPERIMENTS.md.
+    let result = fig15::run(&bench_scale(), Some(&[64, 256]));
+    for &chips in &result.chip_counts.clone() {
+        println!("{}", result.panel(chips));
+        println!(
+            "mean utilization at {chips} chips: VAS {:.1}%, SPK3 {:.1}%",
+            result.mean_utilization(chips, SchedulerKind::Vas) * 100.0,
+            result.mean_utilization(chips, SchedulerKind::Spk3) * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("spk3_sweep_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Spk3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

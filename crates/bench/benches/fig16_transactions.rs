@@ -1,0 +1,29 @@
+//! Regenerates Fig 16 (flash transaction counts vs transfer size) and times an
+//! SPK3 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig16;
+
+fn regenerate() {
+    let result = fig16::run(&bench_scale(), Some(&[64]));
+    println!("{}", result.panel(64));
+    println!(
+        "SPK3 transaction reduction vs VAS: {:.1}% (paper: ~50.2%)",
+        result.reduction_vs_vas(64) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("spk3_transaction_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Spk3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Fig 17 (garbage collection and readdressing impact) and times a
+//! GC-heavy run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::{bench_scale, representative_run};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig17;
+
+fn regenerate() {
+    let result = fig17::run(&bench_scale(), Some(&[64]));
+    println!("{}", result.panel(64));
+    println!(
+        "GC invocations during fragmented runs: {}",
+        result.gc_invocations(64)
+    );
+    println!(
+        "mean fragmented bandwidth: VAS {:.0} KB/s, PAS {:.0} KB/s, SPK3 {:.0} KB/s \
+         (paper: SPK3-GC still ~2x VAS-GC)",
+        result.mean_bandwidth(64, SchedulerKind::Vas, true),
+        result.mean_bandwidth(64, SchedulerKind::Pas, true),
+        result.mean_bandwidth(64, SchedulerKind::Spk3, true)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    group.bench_function("spk3_gc_run", |b| {
+        b.iter(|| representative_run(SchedulerKind::Spk3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Table 1 (trace characteristics of the sixteen enterprise
+//! workloads) and times the synthetic trace generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::bench_scale;
+use sprinkler_experiments::table1;
+use sprinkler_workloads::paper_workloads;
+
+fn regenerate() {
+    let report = table1::run(&bench_scale());
+    println!("{}", report.render());
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let specs = paper_workloads();
+    group.bench_function("generate_cfs0_trace", |b| {
+        b.iter(|| specs[0].generate(500, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the paper
+//! (printing it to stdout) and then lets Criterion time a representative slice of
+//! the underlying simulation so regressions in simulator performance are visible.
+
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::runner::{run_one, ExperimentScale};
+use sprinkler_ssd::{RunMetrics, SsdConfig};
+use sprinkler_workloads::SyntheticSpec;
+
+/// The scale used by bench targets: small enough that `cargo bench` finishes in
+/// minutes, large enough that every qualitative trend of the paper still shows.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        ios_per_workload: 200,
+        blocks_per_plane: 32,
+    }
+}
+
+/// A single small simulation run used as the Criterion measurement body.
+pub fn representative_run(kind: SchedulerKind) -> RunMetrics {
+    let scale = bench_scale();
+    let config = SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane);
+    let trace = SyntheticSpec::new("bench")
+        .with_read_fraction(0.7)
+        .with_mean_sizes_kb(16.0, 16.0)
+        .generate(120, 0xBE);
+    run_one(&config, kind, &trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_run_completes() {
+        let metrics = representative_run(SchedulerKind::Spk3);
+        assert_eq!(metrics.io_count, 120);
+    }
+
+    #[test]
+    fn bench_scale_is_quick() {
+        assert!(bench_scale().ios_per_workload <= 500);
+    }
+}

@@ -1,0 +1,259 @@
+//! FARO — FLP-aware memory request over-commitment (§4.2).
+//!
+//! FARO supplies flash controllers with as many memory requests per chip as early
+//! as possible, so that when the chip becomes free the controller can coalesce a
+//! single transaction with the highest possible flash-level parallelism.  Because
+//! indiscriminate over-commitment could create flash-level contention, FARO ranks
+//! candidates by two metrics:
+//!
+//! * **overlap depth** — how many requests target *different* dies/planes of the
+//!   same chip (an FLP-oriented metric), and
+//! * **connectivity** — how many of a chip's candidate requests belong to the same
+//!   I/O request (a latency-oriented metric).
+//!
+//! The I/O request with the highest overlap depth is over-committed first; ties
+//! break on connectivity, then on arrival order.
+
+use serde::{Deserialize, Serialize};
+use sprinkler_ssd::request::TagId;
+
+/// Configuration of the over-commitment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaroConfig {
+    /// Maximum committed-but-incomplete memory requests FARO keeps per chip.
+    pub overcommit_depth: usize,
+}
+
+impl Default for FaroConfig {
+    fn default() -> Self {
+        // Two dies × four planes: enough depth to fill a PAL3 transaction twice.
+        FaroConfig {
+            overcommit_depth: 16,
+        }
+    }
+}
+
+/// One candidate memory request targeting a specific chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaroCandidate {
+    /// The I/O request (tag) the candidate belongs to.
+    pub tag: TagId,
+    /// Page offset within the I/O request.
+    pub page: u32,
+    /// Die the candidate targets.
+    pub die: u32,
+    /// Plane the candidate targets.
+    pub plane: u32,
+    /// Arrival rank of the tag (0 = oldest); used as the final tie break.
+    pub arrival_rank: usize,
+}
+
+/// The FARO candidate selector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaroSelector {
+    config: FaroConfig,
+}
+
+impl FaroSelector {
+    /// Creates a selector with the given configuration.
+    pub fn new(config: FaroConfig) -> Self {
+        FaroSelector { config }
+    }
+
+    /// The configured over-commitment depth.
+    pub fn overcommit_depth(&self) -> usize {
+        self.config.overcommit_depth
+    }
+
+    /// Overlap depth of a candidate set: the number of distinct (die, plane) pairs
+    /// it would activate on the chip.
+    pub fn overlap_depth(candidates: &[FaroCandidate]) -> usize {
+        let mut pairs: Vec<(u32, u32)> = candidates.iter().map(|c| (c.die, c.plane)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.len()
+    }
+
+    /// Connectivity of `tag` within a candidate set: how many candidates belong to
+    /// it.
+    pub fn connectivity(candidates: &[FaroCandidate], tag: TagId) -> usize {
+        candidates.iter().filter(|c| c.tag == tag).count()
+    }
+
+    /// Selects up to `capacity` candidates for one chip, following Algorithm 1:
+    /// repeatedly pick the tag whose candidates contribute the highest overlap
+    /// depth (ties broken by connectivity, then arrival order) and over-commit its
+    /// requests for this chip.
+    pub fn select(&self, candidates: &[FaroCandidate], capacity: usize) -> Vec<(TagId, u32)> {
+        let capacity = capacity.min(self.config.overcommit_depth);
+        if capacity == 0 || candidates.is_empty() {
+            return Vec::new();
+        }
+        let mut remaining: Vec<FaroCandidate> = candidates.to_vec();
+        let mut selected: Vec<(TagId, u32)> = Vec::new();
+        let mut occupied: Vec<(u32, u32)> = Vec::new();
+
+        while selected.len() < capacity && !remaining.is_empty() {
+            // Rank tags by the overlap depth their candidates would add on top of
+            // what has already been selected.
+            let mut tags: Vec<TagId> = remaining.iter().map(|c| c.tag).collect();
+            tags.sort_unstable();
+            tags.dedup();
+            let mut best: Option<(usize, usize, usize, TagId)> = None;
+            for tag in tags {
+                let members: Vec<FaroCandidate> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|c| c.tag == tag)
+                    .collect();
+                let mut added_pairs: Vec<(u32, u32)> = members
+                    .iter()
+                    .map(|c| (c.die, c.plane))
+                    .filter(|p| !occupied.contains(p))
+                    .collect();
+                added_pairs.sort_unstable();
+                added_pairs.dedup();
+                let overlap = added_pairs.len();
+                let connectivity = members.len();
+                let rank = members
+                    .iter()
+                    .map(|c| c.arrival_rank)
+                    .min()
+                    .unwrap_or(usize::MAX);
+                let better = match &best {
+                    None => true,
+                    Some((o, c, r, _)) => {
+                        (overlap, connectivity, usize::MAX - rank) > (*o, *c, usize::MAX - *r)
+                    }
+                };
+                if better {
+                    best = Some((overlap, connectivity, rank, tag));
+                }
+            }
+            let Some((_, _, _, chosen_tag)) = best else {
+                break;
+            };
+            // Over-commit the chosen tag's candidates, preferring ones that open
+            // new (die, plane) pairs, oldest pages first.
+            let mut members: Vec<FaroCandidate> = remaining
+                .iter()
+                .copied()
+                .filter(|c| c.tag == chosen_tag)
+                .collect();
+            members.sort_by_key(|c| (occupied.contains(&(c.die, c.plane)), c.page));
+            for member in members {
+                if selected.len() >= capacity {
+                    break;
+                }
+                selected.push((member.tag, member.page));
+                if !occupied.contains(&(member.die, member.plane)) {
+                    occupied.push((member.die, member.plane));
+                }
+            }
+            remaining.retain(|c| c.tag != chosen_tag);
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(tag: u64, page: u32, die: u32, plane: u32, rank: usize) -> FaroCandidate {
+        FaroCandidate {
+            tag: TagId(tag),
+            page,
+            die,
+            plane,
+            arrival_rank: rank,
+        }
+    }
+
+    #[test]
+    fn overlap_depth_counts_distinct_die_plane_pairs() {
+        let cs = vec![
+            cand(1, 0, 0, 0, 0),
+            cand(1, 1, 0, 0, 0),
+            cand(2, 0, 0, 1, 1),
+            cand(3, 0, 1, 0, 2),
+        ];
+        assert_eq!(FaroSelector::overlap_depth(&cs), 3);
+        assert_eq!(FaroSelector::overlap_depth(&[]), 0);
+    }
+
+    #[test]
+    fn connectivity_counts_same_tag_members() {
+        let cs = vec![cand(1, 0, 0, 0, 0), cand(1, 1, 0, 1, 0), cand(2, 0, 1, 0, 1)];
+        assert_eq!(FaroSelector::connectivity(&cs, TagId(1)), 2);
+        assert_eq!(FaroSelector::connectivity(&cs, TagId(2)), 1);
+        assert_eq!(FaroSelector::connectivity(&cs, TagId(9)), 0);
+    }
+
+    #[test]
+    fn tag_with_highest_overlap_depth_wins() {
+        // Tag 1 covers one plane twice; tag 2 covers two different planes.
+        let cs = vec![
+            cand(1, 0, 0, 0, 0),
+            cand(1, 1, 0, 0, 0),
+            cand(2, 0, 0, 1, 1),
+            cand(2, 1, 1, 0, 1),
+        ];
+        let selector = FaroSelector::new(FaroConfig::default());
+        let picked = selector.select(&cs, 2);
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().all(|(t, _)| *t == TagId(2)));
+    }
+
+    #[test]
+    fn connectivity_breaks_overlap_ties() {
+        // Both tags add one new plane, but tag 3 has two members (connectivity 2).
+        let cs = vec![
+            cand(3, 0, 0, 0, 5),
+            cand(3, 1, 0, 0, 5),
+            cand(4, 0, 0, 1, 1),
+        ];
+        let selector = FaroSelector::new(FaroConfig::default());
+        let picked = selector.select(&cs, 1);
+        assert_eq!(picked, vec![(TagId(3), 0)]);
+    }
+
+    #[test]
+    fn arrival_order_breaks_remaining_ties() {
+        let cs = vec![cand(7, 0, 0, 0, 3), cand(8, 0, 0, 1, 1)];
+        let selector = FaroSelector::new(FaroConfig::default());
+        let picked = selector.select(&cs, 1);
+        // Same overlap (1) and connectivity (1); the older tag (rank 1) wins.
+        assert_eq!(picked, vec![(TagId(8), 0)]);
+    }
+
+    #[test]
+    fn capacity_and_depth_are_respected() {
+        let cs: Vec<FaroCandidate> = (0..20)
+            .map(|i| cand(i as u64, 0, (i % 2) as u32, (i % 4) as u32, i))
+            .collect();
+        let selector = FaroSelector::new(FaroConfig { overcommit_depth: 4 });
+        assert_eq!(selector.overcommit_depth(), 4);
+        assert_eq!(selector.select(&cs, 100).len(), 4);
+        assert_eq!(selector.select(&cs, 2).len(), 2);
+        assert!(selector.select(&cs, 0).is_empty());
+        assert!(selector.select(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn selection_never_duplicates_a_candidate() {
+        let cs = vec![
+            cand(1, 0, 0, 0, 0),
+            cand(1, 1, 0, 1, 0),
+            cand(2, 0, 1, 0, 1),
+            cand(2, 1, 1, 1, 1),
+        ];
+        let selector = FaroSelector::new(FaroConfig::default());
+        let picked = selector.select(&cs, 10);
+        assert_eq!(picked.len(), 4);
+        let mut unique = picked.clone();
+        unique.sort_by_key(|(t, p)| (t.0, *p));
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Hazard control (§4.4).
+//!
+//! Request reordering at the device level is safe for most combinations because
+//! write data sits in the host-side buffer during scheduling: read-after-write and
+//! write-after-write are resolved by the host's own buffer.  Two cases need care:
+//!
+//! * **Force-unit-access (FUA)** requests must not be reordered at all: no request
+//!   that arrived after a pending FUA request may be committed before the FUA
+//!   request is fully committed.
+//! * **Write-after-read** to the same logical page: the read must be served first,
+//!   otherwise it would observe the new data.
+//!
+//! Both checks are pure functions over the scheduler context so every scheduler
+//! (VAS, PAS, Sprinkler) shares the same policy.
+
+use sprinkler_ssd::request::TagId;
+use sprinkler_ssd::SchedulerContext;
+
+/// Stateless hazard checks shared by all schedulers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HazardFilter;
+
+impl HazardFilter {
+    /// Creates the filter.
+    pub fn new() -> Self {
+        HazardFilter
+    }
+
+    /// How many leading tags (in arrival order) a scheduler may consider this
+    /// round.  Tags beyond the first not-fully-committed FUA request are off
+    /// limits: reordering past a FUA barrier is forbidden.
+    pub fn horizon(&self, ctx: &SchedulerContext<'_>) -> usize {
+        let mut horizon = 0;
+        for tag in ctx.tags() {
+            horizon += 1;
+            if tag.host.fua && !tag.fully_committed() {
+                break;
+            }
+        }
+        horizon
+    }
+
+    /// Whether committing a *write* of `lpn` from `writer` must wait because an
+    /// earlier-arrived tag still has an uncommitted read of the same logical page.
+    pub fn write_after_read_blocked(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        writer: TagId,
+        lpn: u64,
+    ) -> bool {
+        for tag in ctx.tags() {
+            if tag.id == writer {
+                // Only tags that arrived earlier than the writer matter.
+                return false;
+            }
+            if !tag.host.direction.is_read() {
+                continue;
+            }
+            let start = tag.host.start_lpn.value();
+            let end = start + tag.host.pages as u64;
+            if (start..end).contains(&lpn) {
+                let page = (lpn - start) as usize;
+                if !tag.committed[page] {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_flash::{FlashGeometry, Lpn};
+    use sprinkler_sim::SimTime;
+    use sprinkler_ssd::queue::DeviceQueue;
+    use sprinkler_ssd::request::{Direction, HostRequest, Placement};
+    use sprinkler_ssd::ChipOccupancy;
+
+    fn placement(chip: usize) -> Placement {
+        Placement {
+            chip,
+            channel: 0,
+            way: chip as u32,
+            die: 0,
+            plane: 0,
+        }
+    }
+
+    fn admit(queue: &mut DeviceQueue, id: u64, dir: Direction, lpn: u64, pages: u32, fua: bool) {
+        let host = HostRequest::new(id, SimTime::ZERO, dir, Lpn::new(lpn), pages).with_fua(fua);
+        let placements = (0..pages as usize).map(placement).collect();
+        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+    }
+
+    fn with_ctx<R>(queue: &DeviceQueue, f: impl FnOnce(&SchedulerContext<'_>) -> R) -> R {
+        let geometry = FlashGeometry::small_test();
+        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
+            .map(|chip| ChipOccupancy {
+                chip,
+                busy: false,
+                outstanding: 0,
+            })
+            .collect();
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            geometry: &geometry,
+            queue,
+            occupancy: &occupancy,
+            max_committed_per_chip: 8,
+        };
+        f(&ctx)
+    }
+
+    #[test]
+    fn horizon_without_fua_covers_all_tags() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Read, 0, 2, false);
+        admit(&mut queue, 1, Direction::Write, 10, 2, false);
+        admit(&mut queue, 2, Direction::Read, 20, 2, false);
+        let filter = HazardFilter::new();
+        with_ctx(&queue, |ctx| {
+            assert_eq!(filter.horizon(ctx), 3);
+        });
+    }
+
+    #[test]
+    fn fua_request_limits_the_horizon() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Read, 0, 2, false);
+        admit(&mut queue, 1, Direction::Write, 10, 2, true);
+        admit(&mut queue, 2, Direction::Read, 20, 2, false);
+        let filter = HazardFilter::new();
+        with_ctx(&queue, |ctx| {
+            assert_eq!(filter.horizon(ctx), 2);
+        });
+        // Once the FUA tag is fully committed the horizon opens up.
+        queue.tag_mut(TagId(1)).unwrap().mark_committed(0, SimTime::ZERO);
+        queue.tag_mut(TagId(1)).unwrap().mark_committed(1, SimTime::ZERO);
+        with_ctx(&queue, |ctx| {
+            assert_eq!(filter.horizon(ctx), 3);
+        });
+    }
+
+    #[test]
+    fn write_after_read_is_blocked_until_read_commits() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Read, 100, 4, false); // reads LPN 100..104
+        admit(&mut queue, 1, Direction::Write, 102, 1, false); // writes LPN 102
+        let filter = HazardFilter::new();
+        with_ctx(&queue, |ctx| {
+            assert!(filter.write_after_read_blocked(ctx, TagId(1), 102));
+            assert!(!filter.write_after_read_blocked(ctx, TagId(1), 105));
+        });
+        queue.tag_mut(TagId(0)).unwrap().mark_committed(2, SimTime::ZERO);
+        with_ctx(&queue, |ctx| {
+            assert!(!filter.write_after_read_blocked(ctx, TagId(1), 102));
+        });
+    }
+
+    #[test]
+    fn later_reads_do_not_block_earlier_writes() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Write, 50, 1, false);
+        admit(&mut queue, 1, Direction::Read, 50, 1, false);
+        let filter = HazardFilter::new();
+        with_ctx(&queue, |ctx| {
+            // The write arrived first; the read behind it does not block it.
+            assert!(!filter.write_after_read_blocked(ctx, TagId(0), 50));
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! The Physical Address Scheduler (PAS) baseline.
+//!
+//! PAS sees the physical addresses exposed by a preprocessor (Ozone's hardware
+//! assist or PAQ's software translation, §3) and uses them to avoid request
+//! collisions: when the next memory request in I/O order targets an occupied chip,
+//! PAS simply skips it and keeps committing requests whose chips are idle —
+//! coarse-grain out-of-order execution at the system level (Fig 5).
+//!
+//! PAS still composes and commits based on I/O arrival order and never
+//! over-commits, so it cannot exploit flash-level transactional locality: each chip
+//! gets at most one outstanding memory request at a time.
+
+use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
+
+use crate::hazard::HazardFilter;
+
+/// The physical-address-aware, coarse-grain out-of-order scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct PhysicalAddressScheduler {
+    hazards: HazardFilter,
+}
+
+impl PhysicalAddressScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IoScheduler for PhysicalAddressScheduler {
+    fn name(&self) -> &'static str {
+        "PAS"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let mut out = Vec::new();
+        let mut newly: Vec<usize> = vec![0; ctx.chip_count()];
+        let horizon = self.hazards.horizon(ctx);
+        for tag in ctx.tags().take(horizon) {
+            let is_write = tag.host.direction.is_write();
+            for page in tag.uncommitted_pages() {
+                let chip = tag.placements[page as usize].chip;
+                // Skip (rather than block on) occupied chips: one request per chip.
+                if ctx.outstanding(chip) + newly[chip] >= 1 {
+                    continue;
+                }
+                if is_write
+                    && self.hazards.write_after_read_blocked(
+                        ctx,
+                        tag.id,
+                        tag.host.lpn_at(page).value(),
+                    )
+                {
+                    continue;
+                }
+                newly[chip] += 1;
+                out.push(Commitment { tag: tag.id, page });
+            }
+            // A FUA request is a reordering barrier: do not look past it until it
+            // is fully committed.
+            if tag.host.fua && !tag.fully_committed() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_flash::{FlashGeometry, Lpn};
+    use sprinkler_sim::SimTime;
+    use sprinkler_ssd::queue::DeviceQueue;
+    use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
+    use sprinkler_ssd::ChipOccupancy;
+
+    fn admit_with_chips(queue: &mut DeviceQueue, id: u64, dir: Direction, chips: &[usize]) {
+        let host = HostRequest::new(id, SimTime::ZERO, dir, Lpn::new(id * 100), chips.len() as u32);
+        let placements = chips
+            .iter()
+            .map(|&chip| Placement {
+                chip,
+                channel: 0,
+                way: chip as u32,
+                die: 0,
+                plane: 0,
+            })
+            .collect();
+        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+    }
+
+    fn schedule(queue: &DeviceQueue, outstanding: &[usize]) -> Vec<Commitment> {
+        let geometry = FlashGeometry::small_test();
+        let occupancy: Vec<ChipOccupancy> = outstanding
+            .iter()
+            .enumerate()
+            .map(|(chip, &n)| ChipOccupancy {
+                chip,
+                busy: n > 0,
+                outstanding: n,
+            })
+            .collect();
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            geometry: &geometry,
+            queue,
+            occupancy: &occupancy,
+            max_committed_per_chip: 8,
+        };
+        PhysicalAddressScheduler::new().schedule(&ctx)
+    }
+
+    #[test]
+    fn skips_colliding_requests_but_serves_later_ios() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, Direction::Read, &[0, 1]);
+        admit_with_chips(&mut queue, 1, Direction::Read, &[0, 3]);
+        admit_with_chips(&mut queue, 2, Direction::Read, &[2, 3]);
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        // Tag 0 takes chips 0 and 1; tag 1's chip-0 page is skipped but its chip-3
+        // page commits; tag 2's chip-2 page commits, its chip-3 page is skipped.
+        assert_eq!(out.len(), 4);
+        let tags: Vec<u64> = out.iter().map(|c| c.tag.0).collect();
+        assert_eq!(tags, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn never_commits_more_than_one_request_per_chip() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, Direction::Read, &[0, 0, 0]);
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn busy_chips_are_skipped_not_blocking() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, Direction::Read, &[1, 2]);
+        let out = schedule(&queue, &[0, 1, 0, 0]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].page, 1);
+    }
+
+    #[test]
+    fn write_after_read_hazard_defers_the_write() {
+        let mut queue = DeviceQueue::new(8);
+        // Tag 0 reads LPN 0..2 (uncommitted), tag 1 writes LPN 1.
+        let read = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 2);
+        queue.admit(
+            TagId(0),
+            read,
+            SimTime::ZERO,
+            vec![
+                Placement { chip: 0, channel: 0, way: 0, die: 0, plane: 0 },
+                Placement { chip: 1, channel: 0, way: 1, die: 0, plane: 0 },
+            ],
+        );
+        let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(1), 1);
+        queue.admit(
+            TagId(1),
+            write,
+            SimTime::ZERO,
+            vec![Placement { chip: 2, channel: 1, way: 0, die: 0, plane: 0 }],
+        );
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        // The write to LPN 1 must wait for the read of LPN 1 to commit first.
+        assert!(out.iter().all(|c| c.tag != TagId(1)));
+    }
+
+    #[test]
+    fn fua_acts_as_a_reordering_barrier() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, Direction::Read, &[0]);
+        let fua = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(50), 1).with_fua(true);
+        queue.admit(
+            TagId(1),
+            fua,
+            SimTime::ZERO,
+            vec![Placement { chip: 0, channel: 0, way: 0, die: 0, plane: 0 }],
+        );
+        admit_with_chips(&mut queue, 2, Direction::Read, &[3]);
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        // The FUA write targets chip 0 which tag 0 just took, so it cannot commit;
+        // tag 2 must not be scheduled past the FUA barrier.
+        assert!(out.iter().all(|c| c.tag == TagId(0)));
+    }
+}

@@ -1,0 +1,111 @@
+//! RIOS — Resource-driven I/O Scheduling (§4.1).
+//!
+//! RIOS composes and commits memory requests per *flash chip* rather than per host
+//! I/O request.  To avoid serializing on any single channel bus, it visits the
+//! chips that share the same offset (way) in each channel across all channels
+//! first, then increases the offset — so consecutive commitments stripe across
+//! channels (channel stripping) and successive offsets pipeline within each channel
+//! (channel pipelining).
+
+use serde::{Deserialize, Serialize};
+use sprinkler_flash::FlashGeometry;
+
+/// The chip visit order used by RIOS.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_core::RiosTraversal;
+/// use sprinkler_flash::FlashGeometry;
+///
+/// // 2 channels × 2 chips: visit way 0 of both channels, then way 1 of both.
+/// let t = RiosTraversal::new(&FlashGeometry::small_test());
+/// assert_eq!(t.order(), &[0, 2, 1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RiosTraversal {
+    order: Vec<usize>,
+}
+
+impl RiosTraversal {
+    /// Builds the traversal order for a geometry.
+    pub fn new(geometry: &FlashGeometry) -> Self {
+        let mut order = Vec::with_capacity(geometry.total_chips());
+        for way in 0..geometry.chips_per_channel {
+            for channel in 0..geometry.channels {
+                order.push(geometry.chip_index(channel as u32, way as u32));
+            }
+        }
+        RiosTraversal { order }
+    }
+
+    /// The flat chip indices in visit order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of chips covered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the traversal covers no chips.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates the chips in visit order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_chip_exactly_once() {
+        let g = FlashGeometry::paper_default();
+        let t = RiosTraversal::new(&g);
+        assert_eq!(t.len(), g.total_chips());
+        assert!(!t.is_empty());
+        let mut sorted: Vec<usize> = t.iter().collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.total_chips()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_offset_chips_come_before_the_next_offset() {
+        let g = FlashGeometry::paper_default();
+        let t = RiosTraversal::new(&g);
+        let channels = g.channels;
+        // The first `channels` visited chips must all be way 0, one per channel.
+        let first: Vec<usize> = t.iter().take(channels).collect();
+        for (i, &chip) in first.iter().enumerate() {
+            let loc = g.chip_location(chip);
+            assert_eq!(loc.way, 0);
+            assert_eq!(loc.channel as usize, i);
+        }
+        // The next block is way 1.
+        let second: Vec<usize> = t.iter().skip(channels).take(channels).collect();
+        for &chip in &second {
+            assert_eq!(g.chip_location(chip).way, 1);
+        }
+    }
+
+    #[test]
+    fn consecutive_visits_use_different_channels() {
+        let g = FlashGeometry::paper_default();
+        let t = RiosTraversal::new(&g);
+        for pair in t.order().windows(2) {
+            let a = g.chip_location(pair[0]);
+            let b = g.chip_location(pair[1]);
+            assert_ne!(
+                (a.channel, a.way),
+                (b.channel, b.way),
+                "traversal must never repeat a chip back-to-back"
+            );
+        }
+    }
+}

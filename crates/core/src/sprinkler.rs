@@ -1,0 +1,432 @@
+//! The Sprinkler scheduler: RIOS + FARO (§4).
+//!
+//! Sprinkler "sprinkles" memory requests across the SSD's internal resources:
+//!
+//! * with **RIOS** enabled it ignores the I/O order of the device-level queue and
+//!   composes/commits memory requests per flash chip, visiting chips in the
+//!   channel-offset-first traversal of [`RiosTraversal`] so that commits stripe
+//!   across channels and pipeline within them;
+//! * with **FARO** enabled it over-commits several memory requests per chip —
+//!   prioritized by overlap depth, then connectivity — so the flash controller can
+//!   coalesce them into a single die-interleaved, multi-plane transaction;
+//! * with both disabled pieces it degrades to the corresponding SPK1/SPK2 variants
+//!   the paper evaluates.
+//!
+//! Sprinkler also implements the readdressing callback (§4.3): when garbage
+//! collection migrates live data across planes the substrate notifies the
+//! scheduler, which keeps its resource-driven decisions accurate.
+
+use sprinkler_flash::FlashGeometry;
+use sprinkler_ssd::ftl::PageMigration;
+use sprinkler_ssd::request::TagId;
+use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
+
+use crate::faro::{FaroCandidate, FaroConfig, FaroSelector};
+use crate::hazard::HazardFilter;
+use crate::rios::RiosTraversal;
+
+/// The Sprinkler device-level scheduler (SPK1 / SPK2 / SPK3).
+#[derive(Debug, Clone)]
+pub struct SprinklerScheduler {
+    use_rios: bool,
+    use_faro: bool,
+    faro: FaroSelector,
+    hazards: HazardFilter,
+    traversal: Option<RiosTraversal>,
+    readdress_events: u64,
+}
+
+impl SprinklerScheduler {
+    /// Full Sprinkler: RIOS and FARO together (the paper's SPK3).
+    pub fn spk3() -> Self {
+        Self::with_components(true, true, FaroConfig::default())
+    }
+
+    /// FARO-only Sprinkler (SPK1): over-commitment without resource-driven
+    /// composition.
+    pub fn spk1() -> Self {
+        Self::with_components(false, true, FaroConfig::default())
+    }
+
+    /// RIOS-only Sprinkler (SPK2): resource-driven composition without
+    /// over-commitment.
+    pub fn spk2() -> Self {
+        Self::with_components(true, false, FaroConfig::default())
+    }
+
+    /// Builds a Sprinkler variant with explicit component switches and FARO
+    /// parameters.
+    pub fn with_components(use_rios: bool, use_faro: bool, faro: FaroConfig) -> Self {
+        SprinklerScheduler {
+            use_rios,
+            use_faro,
+            faro: FaroSelector::new(faro),
+            hazards: HazardFilter::new(),
+            traversal: None,
+            readdress_events: 0,
+        }
+    }
+
+    /// Whether RIOS (resource-driven composition) is enabled.
+    pub fn uses_rios(&self) -> bool {
+        self.use_rios
+    }
+
+    /// Whether FARO (over-commitment) is enabled.
+    pub fn uses_faro(&self) -> bool {
+        self.use_faro
+    }
+
+    /// Number of readdressing callbacks received so far.
+    pub fn readdress_events(&self) -> u64 {
+        self.readdress_events
+    }
+
+    fn per_chip_capacity(&self) -> usize {
+        if self.use_faro {
+            self.faro.overcommit_depth()
+        } else {
+            1
+        }
+    }
+
+    /// SPK1 path: in-order composition (the parallelism dependency remains) but
+    /// with over-commitment so controllers can still build high-FLP transactions.
+    fn schedule_in_order(&self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip);
+        let mut newly: Vec<usize> = vec![0; ctx.chip_count()];
+        let mut out = Vec::new();
+        let horizon = self.hazards.horizon(ctx);
+        for tag in ctx.tags().take(horizon) {
+            let is_write = tag.host.direction.is_write();
+            for page in tag.uncommitted_pages() {
+                let chip = tag.placements[page as usize].chip;
+                if ctx.outstanding(chip) + newly[chip] >= capacity {
+                    // Like VAS, composition is in-order: the first request that
+                    // cannot be committed stalls everything behind it.
+                    return out;
+                }
+                if is_write
+                    && self.hazards.write_after_read_blocked(
+                        ctx,
+                        tag.id,
+                        tag.host.lpn_at(page).value(),
+                    )
+                {
+                    return out;
+                }
+                newly[chip] += 1;
+                out.push(Commitment { tag: tag.id, page });
+            }
+        }
+        out
+    }
+
+    /// RIOS path (SPK2/SPK3): group uncommitted pages by target chip, then visit
+    /// chips in traversal order, committing up to the per-chip capacity; FARO
+    /// decides which candidates win when there are more than fit.
+    fn schedule_resource_driven(&self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip);
+        let horizon = self.hazards.horizon(ctx);
+        let chip_count = ctx.chip_count();
+        let mut per_chip: Vec<Vec<FaroCandidate>> = vec![Vec::new(); chip_count];
+        let mut blocked: Vec<(TagId, u32)> = Vec::new();
+
+        for (rank, tag) in ctx.tags().take(horizon).enumerate() {
+            let is_write = tag.host.direction.is_write();
+            for page in tag.uncommitted_pages() {
+                if is_write
+                    && self.hazards.write_after_read_blocked(
+                        ctx,
+                        tag.id,
+                        tag.host.lpn_at(page).value(),
+                    )
+                {
+                    blocked.push((tag.id, page));
+                    continue;
+                }
+                let placement = tag.placements[page as usize];
+                if placement.chip < chip_count {
+                    per_chip[placement.chip].push(FaroCandidate {
+                        tag: tag.id,
+                        page,
+                        die: placement.die,
+                        plane: placement.plane,
+                        arrival_rank: rank,
+                    });
+                }
+            }
+        }
+        let _ = blocked;
+
+        let mut out = Vec::new();
+        let order: Vec<usize> = match &self.traversal {
+            Some(t) => t.order().to_vec(),
+            None => (0..chip_count).collect(),
+        };
+        for chip in order {
+            let candidates = &per_chip[chip];
+            if candidates.is_empty() {
+                continue;
+            }
+            let room = capacity.saturating_sub(ctx.outstanding(chip));
+            if room == 0 {
+                continue;
+            }
+            if self.use_faro {
+                for (tag, page) in self.faro.select(candidates, room) {
+                    out.push(Commitment { tag, page });
+                }
+            } else {
+                // No over-commitment: take the oldest candidate only.
+                if let Some(best) = candidates
+                    .iter()
+                    .min_by_key(|c| (c.arrival_rank, c.page))
+                {
+                    out.push(Commitment {
+                        tag: best.tag,
+                        page: best.page,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl IoScheduler for SprinklerScheduler {
+    fn name(&self) -> &'static str {
+        match (self.use_rios, self.use_faro) {
+            (false, true) => "SPK1",
+            (true, false) => "SPK2",
+            (true, true) => "SPK3",
+            (false, false) => "SPK0",
+        }
+    }
+
+    fn initialize(&mut self, geometry: &FlashGeometry) {
+        self.traversal = Some(RiosTraversal::new(geometry));
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        if self.use_rios {
+            self.schedule_resource_driven(ctx)
+        } else {
+            self.schedule_in_order(ctx)
+        }
+    }
+
+    fn supports_readdressing(&self) -> bool {
+        true
+    }
+
+    fn on_readdress(&mut self, _migration: &PageMigration) {
+        // The substrate refreshes the stale placement previews of queued tags when
+        // the callback fires; Sprinkler only counts the events because its
+        // per-round, per-chip grouping is rebuilt from those previews anyway.
+        self.readdress_events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_flash::Lpn;
+    use sprinkler_sim::SimTime;
+    use sprinkler_ssd::queue::DeviceQueue;
+    use sprinkler_ssd::request::{Direction, HostRequest, Placement};
+    use sprinkler_ssd::ChipOccupancy;
+
+    fn admit(
+        queue: &mut DeviceQueue,
+        id: u64,
+        dir: Direction,
+        placements: Vec<(usize, u32, u32)>,
+    ) {
+        let host = HostRequest::new(
+            id,
+            SimTime::ZERO,
+            dir,
+            Lpn::new(id * 1000),
+            placements.len() as u32,
+        );
+        let placements = placements
+            .into_iter()
+            .map(|(chip, die, plane)| Placement {
+                chip,
+                channel: 0,
+                way: chip as u32,
+                die,
+                plane,
+            })
+            .collect();
+        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+    }
+
+    fn run_scheduler(
+        scheduler: &mut SprinklerScheduler,
+        queue: &DeviceQueue,
+        outstanding: &[usize],
+    ) -> Vec<Commitment> {
+        let geometry = FlashGeometry::small_test();
+        scheduler.initialize(&geometry);
+        let occupancy: Vec<ChipOccupancy> = outstanding
+            .iter()
+            .enumerate()
+            .map(|(chip, &n)| ChipOccupancy {
+                chip,
+                busy: n > 0,
+                outstanding: n,
+            })
+            .collect();
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            geometry: &geometry,
+            queue,
+            occupancy: &occupancy,
+            max_committed_per_chip: 32,
+        };
+        scheduler.schedule(&ctx)
+    }
+
+    #[test]
+    fn variant_names_and_components() {
+        assert_eq!(SprinklerScheduler::spk1().name(), "SPK1");
+        assert_eq!(SprinklerScheduler::spk2().name(), "SPK2");
+        assert_eq!(SprinklerScheduler::spk3().name(), "SPK3");
+        assert!(SprinklerScheduler::spk1().uses_faro());
+        assert!(!SprinklerScheduler::spk1().uses_rios());
+        assert!(SprinklerScheduler::spk2().uses_rios());
+        assert!(!SprinklerScheduler::spk2().uses_faro());
+        assert!(SprinklerScheduler::spk3().uses_rios() && SprinklerScheduler::spk3().uses_faro());
+        assert_eq!(
+            SprinklerScheduler::with_components(false, false, FaroConfig::default()).name(),
+            "SPK0"
+        );
+    }
+
+    #[test]
+    fn spk3_commits_beyond_io_boundaries() {
+        let mut queue = DeviceQueue::new(8);
+        // Tag 0 collides with tag 1 on chip 0; tag 2 targets chips 2 and 3.
+        admit(&mut queue, 0, Direction::Read, vec![(0, 0, 0), (1, 0, 0)]);
+        admit(&mut queue, 1, Direction::Read, vec![(0, 0, 1), (3, 0, 0)]);
+        admit(&mut queue, 2, Direction::Read, vec![(2, 0, 0), (3, 0, 1)]);
+        let mut spk3 = SprinklerScheduler::spk3();
+        let out = run_scheduler(&mut spk3, &queue, &[0, 0, 0, 0]);
+        // Every chip receives work; the chip-0 collision does not stop chips 2/3,
+        // and over-commitment allows both chip-0 requests to be committed.
+        let chips: std::collections::HashSet<usize> = out
+            .iter()
+            .map(|c| queue.tag(c.tag).unwrap().placements[c.page as usize].chip)
+            .collect();
+        assert_eq!(chips.len(), 4);
+        assert_eq!(out.len(), 6, "all six pages are committed in one round");
+    }
+
+    #[test]
+    fn spk2_commits_at_most_one_request_per_chip() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Read, vec![(0, 0, 0), (0, 0, 1)]);
+        admit(&mut queue, 1, Direction::Read, vec![(0, 1, 0), (2, 0, 0)]);
+        let mut spk2 = SprinklerScheduler::spk2();
+        let out = run_scheduler(&mut spk2, &queue, &[0, 0, 0, 0]);
+        let chip0_commits = out
+            .iter()
+            .filter(|c| queue.tag(c.tag).unwrap().placements[c.page as usize].chip == 0)
+            .count();
+        assert_eq!(chip0_commits, 1);
+        // Chip 2 still gets its request (resource-driven, not I/O ordered).
+        assert!(out
+            .iter()
+            .any(|c| queue.tag(c.tag).unwrap().placements[c.page as usize].chip == 2));
+    }
+
+    #[test]
+    fn spk2_skips_chips_with_outstanding_work() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Read, vec![(0, 0, 0), (1, 0, 0)]);
+        let mut spk2 = SprinklerScheduler::spk2();
+        let out = run_scheduler(&mut spk2, &queue, &[1, 0, 0, 0]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            queue.tag(out[0].tag).unwrap().placements[out[0].page as usize].chip,
+            1
+        );
+    }
+
+    #[test]
+    fn spk1_overcommits_but_blocks_in_order() {
+        let mut queue = DeviceQueue::new(8);
+        // Tag 0: two requests to chip 0 (different planes) — both can over-commit.
+        admit(&mut queue, 0, Direction::Read, vec![(0, 0, 0), (0, 0, 1)]);
+        // Tag 1 targets chip 1.
+        admit(&mut queue, 1, Direction::Read, vec![(1, 0, 0)]);
+        let mut spk1 = SprinklerScheduler::spk1();
+        let out = run_scheduler(&mut spk1, &queue, &[0, 0, 0, 0]);
+        assert_eq!(out.len(), 3, "FARO depth allows both chip-0 requests plus tag 1");
+
+        // With chip 0 saturated to the FARO depth, SPK1 stalls at the head:
+        let depth = SprinklerScheduler::spk1().faro.overcommit_depth();
+        let out = run_scheduler(&mut spk1, &queue, &[depth, 0, 0, 0]);
+        assert!(out.is_empty(), "in-order composition blocks behind chip 0");
+    }
+
+    #[test]
+    fn spk3_prefers_high_overlap_tags_under_pressure() {
+        let mut queue = DeviceQueue::new(8);
+        // Tag 0 concentrates on one plane of chip 0, tag 1 spans two dies.
+        admit(&mut queue, 0, Direction::Read, vec![(0, 0, 0), (0, 0, 0)]);
+        admit(&mut queue, 1, Direction::Read, vec![(0, 0, 1), (0, 1, 1)]);
+        let mut spk3 = SprinklerScheduler::with_components(
+            true,
+            true,
+            FaroConfig { overcommit_depth: 2 },
+        );
+        let out = run_scheduler(&mut spk3, &queue, &[0, 0, 0, 0]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|c| c.tag == TagId(1)));
+    }
+
+    #[test]
+    fn readdress_callback_is_counted() {
+        let mut spk3 = SprinklerScheduler::spk3();
+        assert!(spk3.supports_readdressing());
+        let migration = PageMigration {
+            lpn: Lpn::new(1),
+            from: sprinkler_flash::PhysicalPageAddr::default(),
+            to: sprinkler_flash::PhysicalPageAddr::default(),
+            crossed_plane: true,
+        };
+        spk3.on_readdress(&migration);
+        spk3.on_readdress(&migration);
+        assert_eq!(spk3.readdress_events(), 2);
+    }
+
+    #[test]
+    fn write_after_read_blocks_resource_driven_writes() {
+        let mut queue = DeviceQueue::new(8);
+        // Tag 0 reads LPN 0..2, tag 1 writes LPN 1: the write must wait.
+        let read = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 2);
+        queue.admit(
+            TagId(0),
+            read,
+            SimTime::ZERO,
+            vec![
+                Placement { chip: 0, channel: 0, way: 0, die: 0, plane: 0 },
+                Placement { chip: 1, channel: 0, way: 1, die: 0, plane: 0 },
+            ],
+        );
+        let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(1), 1);
+        queue.admit(
+            TagId(1),
+            write,
+            SimTime::ZERO,
+            vec![Placement { chip: 2, channel: 1, way: 0, die: 0, plane: 0 }],
+        );
+        let mut spk3 = SprinklerScheduler::spk3();
+        let out = run_scheduler(&mut spk3, &queue, &[0, 0, 0, 0]);
+        assert!(out.iter().all(|c| c.tag != TagId(1)));
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! The Virtual Address Scheduler (VAS) baseline.
+//!
+//! VAS decides the order of I/O requests purely from the device-level queue and
+//! composes memory requests using only virtual addresses (§3, Fig 4).  Because it
+//! never looks at the physical layout, its commitment pipeline is strictly
+//! in-order: as soon as the next memory request in I/O order targets a chip that is
+//! still occupied by a previously committed request, the whole pipeline stalls —
+//! the request collisions of Fig 4 and the resulting inter-chip idleness.
+//!
+//! Implementation note: VAS itself has no physical knowledge.  The simulator uses
+//! the per-chip occupancy view to model the *physical backpressure* the in-order
+//! pipeline experiences, not to give VAS placement intelligence.
+
+use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
+
+use crate::hazard::HazardFilter;
+
+/// The conventional FIFO (virtual address) scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct VirtualAddressScheduler {
+    hazards: HazardFilter,
+}
+
+impl VirtualAddressScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IoScheduler for VirtualAddressScheduler {
+    fn name(&self) -> &'static str {
+        "VAS"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let mut out = Vec::new();
+        let mut newly: Vec<usize> = vec![0; ctx.chip_count()];
+        let horizon = self.hazards.horizon(ctx);
+        for tag in ctx.tags().take(horizon) {
+            for page in tag.uncommitted_pages() {
+                let chip = tag.placements[page as usize].chip;
+                // In-order pipeline: a busy target chip blocks everything behind it.
+                if ctx.outstanding(chip) + newly[chip] >= 1 {
+                    return out;
+                }
+                newly[chip] += 1;
+                out.push(Commitment { tag: tag.id, page });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_flash::{FlashGeometry, Lpn};
+    use sprinkler_sim::SimTime;
+    use sprinkler_ssd::queue::DeviceQueue;
+    use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
+    use sprinkler_ssd::ChipOccupancy;
+
+    fn admit_with_chips(queue: &mut DeviceQueue, id: u64, chips: &[usize]) {
+        let host = HostRequest::new(
+            id,
+            SimTime::ZERO,
+            Direction::Read,
+            Lpn::new(id * 100),
+            chips.len() as u32,
+        );
+        let placements = chips
+            .iter()
+            .map(|&chip| Placement {
+                chip,
+                channel: 0,
+                way: chip as u32,
+                die: 0,
+                plane: 0,
+            })
+            .collect();
+        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+    }
+
+    fn schedule(
+        queue: &DeviceQueue,
+        outstanding: &[usize],
+    ) -> Vec<Commitment> {
+        let geometry = FlashGeometry::small_test();
+        let occupancy: Vec<ChipOccupancy> = outstanding
+            .iter()
+            .enumerate()
+            .map(|(chip, &n)| ChipOccupancy {
+                chip,
+                busy: n > 0,
+                outstanding: n,
+            })
+            .collect();
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            geometry: &geometry,
+            queue,
+            occupancy: &occupancy,
+            max_committed_per_chip: 8,
+        };
+        VirtualAddressScheduler::new().schedule(&ctx)
+    }
+
+    #[test]
+    fn commits_in_strict_io_order_when_no_conflicts() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, &[0, 1]);
+        admit_with_chips(&mut queue, 1, &[2, 3]);
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].tag, TagId(0));
+        assert_eq!(out[1].tag, TagId(0));
+        assert_eq!(out[2].tag, TagId(1));
+        assert_eq!(out[3].tag, TagId(1));
+    }
+
+    #[test]
+    fn chip_conflict_blocks_everything_behind_it() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, &[0, 1]);
+        admit_with_chips(&mut queue, 1, &[0, 3]); // collides with tag 0 on chip 0
+        admit_with_chips(&mut queue, 2, &[2, 3]); // no collision, but behind tag 1
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        // Tag 0 commits both pages, then tag 1's first page collides on chip 0 and
+        // the pipeline stops: tag 2 gets nothing even though chips 2/3 are idle.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|c| c.tag == TagId(0)));
+    }
+
+    #[test]
+    fn busy_chip_at_head_of_queue_blocks_all_commits() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, &[1, 2]);
+        let out = schedule(&queue, &[0, 1, 0, 0]); // chip 1 already has work
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn already_committed_pages_are_skipped() {
+        let mut queue = DeviceQueue::new(8);
+        admit_with_chips(&mut queue, 0, &[0, 1]);
+        queue.tag_mut(TagId(0)).unwrap().mark_committed(0, SimTime::ZERO);
+        let out = schedule(&queue, &[0, 0, 0, 0]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].page, 1);
+    }
+}

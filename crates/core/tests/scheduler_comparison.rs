@@ -1,0 +1,158 @@
+//! End-to-end comparison of the five schedulers on the simulated SSD.
+//!
+//! These tests assert the *qualitative* results of the paper: Sprinkler (SPK3)
+//! outperforms PAS, which outperforms VAS, on bursty multi-request workloads; the
+//! Sprinkler variants reduce idleness and increase flash-level parallelism.
+
+use sprinkler_core::SchedulerKind;
+use sprinkler_flash::Lpn;
+use sprinkler_sim::SimTime;
+use sprinkler_ssd::request::{Direction, HostRequest};
+use sprinkler_ssd::{RunMetrics, Ssd, SsdConfig};
+
+/// A bursty mixed workload: back-to-back arrivals of variably sized requests whose
+/// start offsets collide on some chips, like the examples of Figs 4, 5, and 7.
+fn bursty_trace(requests: u64, seed: u64) -> Vec<HostRequest> {
+    let mut trace = Vec::new();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..requests {
+        // Arrive in bursts of 8 requests every 100 us.
+        let arrival = SimTime::from_micros((i / 8) * 100);
+        let r = next();
+        let pages = 1 + (r % 24) as u32; // 2 KB .. 48 KB
+        let lpn = (r >> 8) % 4096;
+        let direction = if r % 10 < 7 {
+            Direction::Read
+        } else {
+            Direction::Write
+        };
+        trace.push(HostRequest::new(i, arrival, direction, Lpn::new(lpn), pages));
+    }
+    trace
+}
+
+fn run(kind: SchedulerKind, requests: u64) -> RunMetrics {
+    let config = SsdConfig::paper_default().with_blocks_per_plane(64);
+    let ssd = Ssd::new(config, kind.build()).expect("valid config");
+    ssd.run(bursty_trace(requests, 7))
+}
+
+#[test]
+fn all_schedulers_complete_the_same_workload() {
+    for kind in SchedulerKind::ALL {
+        let metrics = run(kind, 120);
+        assert_eq!(metrics.io_count, 120, "{kind} lost I/Os");
+        assert!(metrics.avg_latency_ns > 0.0);
+        assert!(metrics.bandwidth_kb_per_sec > 0.0);
+        assert!(metrics.transactions >= 1);
+    }
+}
+
+#[test]
+fn sprinkler_outperforms_the_baselines_on_bandwidth() {
+    let vas = run(SchedulerKind::Vas, 240);
+    let pas = run(SchedulerKind::Pas, 240);
+    let spk3 = run(SchedulerKind::Spk3, 240);
+    assert!(
+        spk3.bandwidth_kb_per_sec > vas.bandwidth_kb_per_sec,
+        "SPK3 ({:.0} KB/s) must beat VAS ({:.0} KB/s)",
+        spk3.bandwidth_kb_per_sec,
+        vas.bandwidth_kb_per_sec
+    );
+    assert!(
+        spk3.bandwidth_kb_per_sec >= pas.bandwidth_kb_per_sec,
+        "SPK3 ({:.0} KB/s) must beat PAS ({:.0} KB/s)",
+        spk3.bandwidth_kb_per_sec,
+        pas.bandwidth_kb_per_sec
+    );
+    assert!(
+        pas.bandwidth_kb_per_sec > vas.bandwidth_kb_per_sec,
+        "PAS ({:.0} KB/s) must beat VAS ({:.0} KB/s)",
+        pas.bandwidth_kb_per_sec,
+        vas.bandwidth_kb_per_sec
+    );
+}
+
+#[test]
+fn sprinkler_reduces_latency_and_queue_stall() {
+    let vas = run(SchedulerKind::Vas, 240);
+    let spk3 = run(SchedulerKind::Spk3, 240);
+    assert!(
+        spk3.avg_latency_ns < vas.avg_latency_ns,
+        "SPK3 latency {:.0} must be below VAS latency {:.0}",
+        spk3.avg_latency_ns,
+        vas.avg_latency_ns
+    );
+    assert!(
+        spk3.queue_stall_ns <= vas.queue_stall_ns,
+        "SPK3 stall {} must not exceed VAS stall {}",
+        spk3.queue_stall_ns,
+        vas.queue_stall_ns
+    );
+}
+
+#[test]
+fn rios_improves_chip_utilization_over_vas() {
+    let vas = run(SchedulerKind::Vas, 240);
+    let spk2 = run(SchedulerKind::Spk2, 240);
+    let spk3 = run(SchedulerKind::Spk3, 240);
+    assert!(
+        spk2.chip_utilization > vas.chip_utilization,
+        "SPK2 utilization {:.3} must beat VAS {:.3}",
+        spk2.chip_utilization,
+        vas.chip_utilization
+    );
+    assert!(
+        spk3.inter_chip_idleness < vas.inter_chip_idleness,
+        "SPK3 inter-chip idleness {:.3} must be below VAS {:.3}",
+        spk3.inter_chip_idleness,
+        vas.inter_chip_idleness
+    );
+}
+
+#[test]
+fn faro_increases_flash_level_parallelism() {
+    let pas = run(SchedulerKind::Pas, 240);
+    let spk1 = run(SchedulerKind::Spk1, 240);
+    let spk3 = run(SchedulerKind::Spk3, 240);
+    // FARO-enabled schedulers fold more requests per transaction than PAS.
+    assert!(
+        spk1.requests_per_transaction >= pas.requests_per_transaction,
+        "SPK1 {:.2} req/txn must be at least PAS {:.2}",
+        spk1.requests_per_transaction,
+        pas.requests_per_transaction
+    );
+    assert!(
+        spk3.requests_per_transaction > pas.requests_per_transaction,
+        "SPK3 {:.2} req/txn must exceed PAS {:.2}",
+        spk3.requests_per_transaction,
+        pas.requests_per_transaction
+    );
+    // And therefore serve a larger fraction of requests with some FLP.
+    assert!(
+        spk3.flp.mean_level() > pas.flp.mean_level(),
+        "SPK3 FLP {:.2} must exceed PAS FLP {:.2}",
+        spk3.flp.mean_level(),
+        pas.flp.mean_level()
+    );
+}
+
+#[test]
+fn faro_reduces_the_number_of_transactions() {
+    let vas = run(SchedulerKind::Vas, 240);
+    let spk3 = run(SchedulerKind::Spk3, 240);
+    assert!(
+        spk3.transactions < vas.transactions,
+        "SPK3 transactions {} must be below VAS {}",
+        spk3.transactions,
+        vas.transactions
+    );
+    // Both served the same memory requests.
+    assert_eq!(spk3.memory_requests, vas.memory_requests);
+}

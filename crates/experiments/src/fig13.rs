@@ -1,0 +1,73 @@
+//! Fig 13 — execution-time breakdown (bus operation, bus contention, memory
+//! operation, system idle) for PAS and SPK3.
+
+use sprinkler_core::SchedulerKind;
+
+use crate::fig10::MainComparison;
+use crate::report::{fmt_pct, Table};
+
+/// Renders the execution breakdown of one scheduler across all workloads.
+pub fn breakdown_table(comparison: &MainComparison, kind: SchedulerKind) -> Table {
+    let mut table = Table::new(
+        format!("Fig 13: execution time breakdown ({})", kind.label()),
+        vec![
+            "workload".into(),
+            "bus op".into(),
+            "bus contention".into(),
+            "memory op".into(),
+            "idle".into(),
+        ],
+    );
+    for workload in &comparison.workloads {
+        if let Some(m) = comparison.metrics(workload, kind) {
+            table.add_row(vec![
+                workload.clone(),
+                fmt_pct(m.execution.bus_operation),
+                fmt_pct(m.execution.bus_contention),
+                fmt_pct(m.execution.memory_operation),
+                fmt_pct(m.execution.idle),
+            ]);
+        }
+    }
+    table
+}
+
+/// Average system-idle fraction of a scheduler over all workloads.
+pub fn mean_idle(comparison: &MainComparison, kind: SchedulerKind) -> f64 {
+    let values: Vec<f64> = comparison
+        .workloads
+        .iter()
+        .filter_map(|w| comparison.metrics(w, kind))
+        .map(|m| m.execution.idle)
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig10;
+    use crate::runner::ExperimentScale;
+
+    #[test]
+    fn spk3_spends_less_time_idle_than_pas() {
+        let scale = ExperimentScale {
+            ios_per_workload: 150,
+            blocks_per_plane: 16,
+        };
+        let comparison = fig10::run(&scale, Some(3));
+        let pas_idle = mean_idle(&comparison, SchedulerKind::Pas);
+        let spk3_idle = mean_idle(&comparison, SchedulerKind::Spk3);
+        assert!(
+            spk3_idle < pas_idle,
+            "SPK3 idle {spk3_idle:.3} must be below PAS idle {pas_idle:.3}"
+        );
+        let table = breakdown_table(&comparison, SchedulerKind::Spk3);
+        assert_eq!(table.row_count(), 3);
+        assert!(table.render().contains("memory op"));
+    }
+}

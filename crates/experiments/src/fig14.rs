@@ -1,0 +1,103 @@
+//! Fig 14 — flash-level parallelism breakdown (NON-PAL / PAL1 / PAL2 / PAL3) for
+//! PAS, SPK1, SPK2, and SPK3.
+
+use sprinkler_core::SchedulerKind;
+
+use crate::fig10::MainComparison;
+use crate::report::{fmt_pct, Table};
+
+/// The schedulers Fig 14 plots.
+pub const FIG14_SCHEDULERS: [SchedulerKind; 4] = [
+    SchedulerKind::Pas,
+    SchedulerKind::Spk1,
+    SchedulerKind::Spk2,
+    SchedulerKind::Spk3,
+];
+
+/// Renders the FLP breakdown of one scheduler across all workloads.
+pub fn flp_table(comparison: &MainComparison, kind: SchedulerKind) -> Table {
+    let mut table = Table::new(
+        format!("Fig 14: FLP breakdown ({})", kind.label()),
+        vec![
+            "workload".into(),
+            "NON-PAL".into(),
+            "PAL1".into(),
+            "PAL2".into(),
+            "PAL3".into(),
+        ],
+    );
+    for workload in &comparison.workloads {
+        if let Some(m) = comparison.metrics(workload, kind) {
+            let flp = m.flp.as_array();
+            table.add_row(vec![
+                workload.clone(),
+                fmt_pct(flp[0]),
+                fmt_pct(flp[1]),
+                fmt_pct(flp[2]),
+                fmt_pct(flp[3]),
+            ]);
+        }
+    }
+    table
+}
+
+/// Mean FLP level (0 = NON-PAL … 3 = PAL3) of a scheduler over all workloads.
+pub fn mean_flp_level(comparison: &MainComparison, kind: SchedulerKind) -> f64 {
+    let values: Vec<f64> = comparison
+        .workloads
+        .iter()
+        .filter_map(|w| comparison.metrics(w, kind))
+        .map(|m| m.flp.mean_level())
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Mean fraction of requests served with *some* flash-level parallelism.
+pub fn mean_parallel_fraction(comparison: &MainComparison, kind: SchedulerKind) -> f64 {
+    let values: Vec<f64> = comparison
+        .workloads
+        .iter()
+        .filter_map(|w| comparison.metrics(w, kind))
+        .map(|m| 1.0 - m.flp.non_pal)
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig10;
+    use crate::runner::ExperimentScale;
+
+    #[test]
+    fn faro_variants_achieve_more_flp_than_pas() {
+        let scale = ExperimentScale {
+            ios_per_workload: 150,
+            blocks_per_plane: 16,
+        };
+        let comparison = fig10::run(&scale, Some(3));
+        let pas = mean_flp_level(&comparison, SchedulerKind::Pas);
+        let spk1 = mean_flp_level(&comparison, SchedulerKind::Spk1);
+        let spk3 = mean_flp_level(&comparison, SchedulerKind::Spk3);
+        assert!(
+            spk1 >= pas,
+            "SPK1 FLP {spk1:.3} must be at least PAS {pas:.3}"
+        );
+        assert!(
+            spk3 > pas,
+            "SPK3 FLP {spk3:.3} must exceed PAS {pas:.3}"
+        );
+        for kind in FIG14_SCHEDULERS {
+            assert_eq!(flp_table(&comparison, kind).row_count(), 3);
+        }
+        assert!(mean_parallel_fraction(&comparison, SchedulerKind::Spk3) > 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared experiment machinery.
+
+use serde::{Deserialize, Serialize};
+use sprinkler_core::SchedulerKind;
+use sprinkler_flash::Lpn;
+use sprinkler_ssd::request::{Direction, HostRequest};
+use sprinkler_ssd::{RunMetrics, Ssd, SsdConfig};
+use sprinkler_workloads::Trace;
+
+/// How large each experiment should be.  The full scale approximates the paper's
+/// runs; the quick scale keeps `cargo bench`/CI runs in the seconds range while
+/// preserving every qualitative trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Host I/O requests per workload run.
+    pub ios_per_workload: u64,
+    /// Blocks per plane used in experiment geometries (keeps GC working sets and
+    /// mapping tables tractable).
+    pub blocks_per_plane: usize,
+}
+
+impl ExperimentScale {
+    /// The scale used when regenerating the figures for the record.
+    pub fn full() -> Self {
+        ExperimentScale {
+            ios_per_workload: 2000,
+            blocks_per_plane: 64,
+        }
+    }
+
+    /// A fast scale for smoke tests and benches.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            ios_per_workload: 300,
+            blocks_per_plane: 32,
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl ExperimentScale {
+    /// The transfer sizes (KB) swept by the microbenchmark figures at this scale.
+    pub fn sweep_sizes_kb(&self) -> Vec<u64> {
+        if self.ios_per_workload >= 1000 {
+            sprinkler_workloads::sweep::TRANSFER_SIZES_KB.to_vec()
+        } else {
+            vec![4, 16, 64, 256, 1024, 4096]
+        }
+    }
+
+    /// Page budget for one sweep run; bounds the memory-request count so very
+    /// large transfer sizes do not dominate the run time.
+    pub fn sweep_page_budget(&self) -> u64 {
+        self.ios_per_workload * 24
+    }
+
+    /// Builds the fixed-transfer-size trace for one sweep point: the request count
+    /// shrinks as the transfer size grows so each point issues roughly the same
+    /// number of page-level memory requests.
+    pub fn sweep_trace(&self, transfer_kb: u64, read_fraction: f64, seed: u64) -> Trace {
+        let pages_per_io = (transfer_kb * 1024).div_ceil(2048).max(1);
+        let ios = (self.sweep_page_budget() / pages_per_io).clamp(12, self.ios_per_workload);
+        sprinkler_workloads::SweepSpec::new(transfer_kb)
+            .with_read_fraction(read_fraction)
+            .generate(ios, seed)
+    }
+}
+
+/// Converts a block-level trace into page-granular host requests for the SSD.
+pub fn to_host_requests(trace: &Trace, page_size: usize) -> Vec<HostRequest> {
+    trace
+        .iter()
+        .map(|record| {
+            let (lpn, pages) = record.pages(page_size);
+            HostRequest::new(
+                record.id,
+                record.arrival,
+                if record.op.is_read() {
+                    Direction::Read
+                } else {
+                    Direction::Write
+                },
+                Lpn::new(lpn),
+                pages,
+            )
+        })
+        .collect()
+}
+
+/// Runs one scheduler over one trace on the given SSD configuration.
+pub fn run_one(config: &SsdConfig, kind: SchedulerKind, trace: &Trace) -> RunMetrics {
+    let requests = to_host_requests(trace, config.page_size());
+    let ssd = Ssd::new(config.clone(), kind.build()).expect("experiment config must be valid");
+    ssd.run(requests)
+}
+
+/// Like [`run_one`] but records the per-I/O latency series (Fig 12) and optionally
+/// pre-conditions the SSD into a fragmented state (Fig 17).
+pub fn run_one_detailed(
+    config: &SsdConfig,
+    kind: SchedulerKind,
+    trace: &Trace,
+    record_series: bool,
+    precondition: Option<f64>,
+) -> RunMetrics {
+    let requests = to_host_requests(trace, config.page_size());
+    let mut ssd = Ssd::with_series(config.clone(), kind.build(), record_series)
+        .expect("experiment config must be valid");
+    if let Some(utilization) = precondition {
+        ssd.precondition(utilization, 0xF17);
+    }
+    ssd.run(requests)
+}
+
+/// One cell of a scheduler × workload matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Workload name.
+    pub workload: String,
+    /// Scheduler evaluated.
+    pub scheduler: SchedulerKind,
+    /// The collected metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs every scheduler over every trace, in parallel across workloads.
+pub fn run_matrix(
+    config: &SsdConfig,
+    schedulers: &[SchedulerKind],
+    traces: &[Trace],
+) -> Vec<MatrixCell> {
+    let mut cells: Vec<MatrixCell> = Vec::with_capacity(schedulers.len() * traces.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for trace in traces {
+            for &kind in schedulers {
+                let config = config.clone();
+                handles.push(scope.spawn(move |_| MatrixCell {
+                    workload: trace.name().to_string(),
+                    scheduler: kind,
+                    metrics: run_one(&config, kind, trace),
+                }));
+            }
+        }
+        for handle in handles {
+            cells.push(handle.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    // Deterministic ordering: by workload then by scheduler order in the request.
+    cells.sort_by_key(|cell| {
+        let w = traces
+            .iter()
+            .position(|t| t.name() == cell.workload)
+            .unwrap_or(usize::MAX);
+        let s = schedulers
+            .iter()
+            .position(|&k| k == cell.scheduler)
+            .unwrap_or(usize::MAX);
+        (w, s)
+    });
+    cells
+}
+
+/// Finds the cell for a workload/scheduler pair.
+pub fn find_cell<'a>(
+    cells: &'a [MatrixCell],
+    workload: &str,
+    scheduler: SchedulerKind,
+) -> Option<&'a MatrixCell> {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.scheduler == scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_workloads::SyntheticSpec;
+
+    #[test]
+    fn host_request_conversion_preserves_counts_and_direction() {
+        let trace = SyntheticSpec::new("conv").with_read_fraction(1.0).generate(50, 3);
+        let requests = to_host_requests(&trace, 2048);
+        assert_eq!(requests.len(), 50);
+        assert!(requests.iter().all(|r| r.direction.is_read()));
+        assert!(requests.iter().all(|r| r.pages >= 1));
+    }
+
+    #[test]
+    fn run_one_completes_every_io() {
+        let config = SsdConfig::paper_default().with_blocks_per_plane(32);
+        let trace = SyntheticSpec::new("small").generate(60, 5);
+        let metrics = run_one(&config, SchedulerKind::Spk3, &trace);
+        assert_eq!(metrics.io_count, 60);
+    }
+
+    #[test]
+    fn matrix_covers_every_pair_in_order() {
+        let config = SsdConfig::paper_default().with_blocks_per_plane(32);
+        let traces = vec![
+            SyntheticSpec::new("w0").generate(40, 1),
+            SyntheticSpec::new("w1").generate(40, 2),
+        ];
+        let schedulers = [SchedulerKind::Vas, SchedulerKind::Spk3];
+        let cells = run_matrix(&config, &schedulers, &traces);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].workload, "w0");
+        assert_eq!(cells[0].scheduler, SchedulerKind::Vas);
+        assert_eq!(cells[3].workload, "w1");
+        assert_eq!(cells[3].scheduler, SchedulerKind::Spk3);
+        assert!(find_cell(&cells, "w1", SchedulerKind::Vas).is_some());
+        assert!(find_cell(&cells, "w2", SchedulerKind::Vas).is_none());
+    }
+
+    #[test]
+    fn detailed_run_supports_series_and_precondition() {
+        let config = SsdConfig::paper_default()
+            .with_blocks_per_plane(8)
+            .with_gc(sprinkler_ssd::GcConfig::enabled());
+        let trace = SyntheticSpec::new("d").with_read_fraction(0.0).generate(40, 9);
+        let metrics =
+            run_one_detailed(&config, SchedulerKind::Spk3, &trace, true, Some(0.5));
+        assert_eq!(metrics.io_count, 40);
+        assert_eq!(metrics.latency_series.len(), 40);
+    }
+
+    #[test]
+    fn scales_expose_sane_values() {
+        assert!(ExperimentScale::full().ios_per_workload > ExperimentScale::quick().ios_per_workload);
+        assert_eq!(ExperimentScale::default(), ExperimentScale::full());
+    }
+}

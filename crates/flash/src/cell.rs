@@ -1,0 +1,270 @@
+//! Flash cell array ground truth.
+//!
+//! NAND flash imposes two hard rules the FTL must respect: pages within a block
+//! must be programmed sequentially, and a page cannot be re-programmed without
+//! erasing its whole block first.  [`CellArray`] tracks per-block write pointers and
+//! erase counts so the SSD substrate (and its tests) can verify that the FTL and
+//! garbage collector never violate these rules, and so wear statistics are
+//! available for the wear-levelling accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::PhysicalPageAddr;
+use crate::error::FlashError;
+use crate::geometry::FlashGeometry;
+
+/// Tracks program order and erase counts for every block in the SSD.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_flash::{CellArray, FlashGeometry};
+///
+/// let g = FlashGeometry::small_test();
+/// let mut cells = CellArray::new(g.clone());
+/// let block0_page0 = g.page_addr(0, 0, 0, 0, 0, 0);
+/// let block0_page1 = g.page_addr(0, 0, 0, 0, 0, 1);
+///
+/// cells.program(block0_page0).unwrap();
+/// cells.program(block0_page1).unwrap();
+/// assert!(cells.is_programmed(block0_page0));
+/// cells.erase(block0_page0).unwrap();
+/// assert!(!cells.is_programmed(block0_page0));
+/// assert_eq!(cells.erase_count(block0_page0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellArray {
+    geometry: FlashGeometry,
+    /// Next page index expected to be programmed, per block.
+    write_pointers: Vec<u32>,
+    /// Erase count per block.
+    erase_counts: Vec<u32>,
+    programs: u64,
+    erases: u64,
+}
+
+impl CellArray {
+    /// Creates a fully erased array for `geometry`.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        let blocks = geometry.total_pages() / geometry.pages_per_block;
+        CellArray {
+            geometry,
+            write_pointers: vec![0; blocks],
+            erase_counts: vec![0; blocks],
+            programs: 0,
+            erases: 0,
+        }
+    }
+
+    /// The geometry this array was built for.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    fn block_index(&self, addr: PhysicalPageAddr) -> usize {
+        let g = &self.geometry;
+        let chip = g.chip_index(addr.channel, addr.way);
+        ((chip * g.dies_per_chip + addr.die as usize) * g.planes_per_die + addr.plane as usize)
+            * g.blocks_per_plane
+            + addr.block as usize
+    }
+
+    /// Programs the page at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::AddressOutOfRange`] if the address is invalid.
+    /// * [`FlashError::BlockFull`] if every page of the block is already programmed.
+    /// * [`FlashError::ProgramOrderViolation`] if `addr.page` is not the block's
+    ///   next sequential page.
+    pub fn program(&mut self, addr: PhysicalPageAddr) -> Result<(), FlashError> {
+        self.geometry.check_addr(addr)?;
+        let idx = self.block_index(addr);
+        let next = self.write_pointers[idx];
+        if next as usize >= self.geometry.pages_per_block {
+            return Err(FlashError::BlockFull { addr });
+        }
+        if addr.page != next {
+            return Err(FlashError::ProgramOrderViolation {
+                addr,
+                expected_page: next,
+            });
+        }
+        self.write_pointers[idx] += 1;
+        self.programs += 1;
+        Ok(())
+    }
+
+    /// Erases the block containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] if the address is invalid.
+    pub fn erase(&mut self, addr: PhysicalPageAddr) -> Result<(), FlashError> {
+        self.geometry.check_addr(addr)?;
+        let idx = self.block_index(addr);
+        self.write_pointers[idx] = 0;
+        self.erase_counts[idx] += 1;
+        self.erases += 1;
+        Ok(())
+    }
+
+    /// Whether the page at `addr` has been programmed since its block's last erase.
+    pub fn is_programmed(&self, addr: PhysicalPageAddr) -> bool {
+        if self.geometry.check_addr(addr).is_err() {
+            return false;
+        }
+        addr.page < self.write_pointers[self.block_index(addr)]
+    }
+
+    /// The next page index that must be programmed in `addr`'s block.
+    pub fn write_pointer(&self, addr: PhysicalPageAddr) -> u32 {
+        self.write_pointers[self.block_index(addr)]
+    }
+
+    /// Whether `addr`'s block has no remaining programmable pages.
+    pub fn is_block_full(&self, addr: PhysicalPageAddr) -> bool {
+        self.write_pointer(addr) as usize >= self.geometry.pages_per_block
+    }
+
+    /// Number of times `addr`'s block has been erased.
+    pub fn erase_count(&self, addr: PhysicalPageAddr) -> u32 {
+        self.erase_counts[self.block_index(addr)]
+    }
+
+    /// Total page programs performed.
+    pub fn total_programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Total block erases performed.
+    pub fn total_erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// The largest erase count over all blocks (wear hot spot).
+    pub fn max_erase_count(&self) -> u32 {
+        self.erase_counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The mean erase count over all blocks.
+    pub fn mean_erase_count(&self) -> f64 {
+        if self.erase_counts.is_empty() {
+            return 0.0;
+        }
+        self.erase_counts.iter().map(|&c| c as f64).sum::<f64>() / self.erase_counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FlashGeometry, CellArray) {
+        let g = FlashGeometry::small_test();
+        let cells = CellArray::new(g.clone());
+        (g, cells)
+    }
+
+    #[test]
+    fn fresh_array_is_erased() {
+        let (g, cells) = setup();
+        let addr = g.page_addr(0, 0, 0, 0, 0, 0);
+        assert!(!cells.is_programmed(addr));
+        assert_eq!(cells.write_pointer(addr), 0);
+        assert_eq!(cells.erase_count(addr), 0);
+        assert_eq!(cells.total_programs(), 0);
+        assert_eq!(cells.total_erases(), 0);
+        assert_eq!(cells.max_erase_count(), 0);
+        assert_eq!(cells.mean_erase_count(), 0.0);
+    }
+
+    #[test]
+    fn sequential_programming_succeeds() {
+        let (g, mut cells) = setup();
+        for page in 0..g.pages_per_block as u32 {
+            cells.program(g.page_addr(0, 0, 0, 0, 2, page)).unwrap();
+        }
+        assert!(cells.is_block_full(g.page_addr(0, 0, 0, 0, 2, 0)));
+        assert_eq!(cells.total_programs(), g.pages_per_block as u64);
+    }
+
+    #[test]
+    fn out_of_order_program_is_rejected() {
+        let (g, mut cells) = setup();
+        let err = cells.program(g.page_addr(0, 0, 0, 0, 0, 3)).unwrap_err();
+        assert!(matches!(
+            err,
+            FlashError::ProgramOrderViolation {
+                expected_page: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn full_block_rejects_programs_until_erase() {
+        let (g, mut cells) = setup();
+        let block = |page| g.page_addr(1, 1, 1, 1, 7, page);
+        for page in 0..g.pages_per_block as u32 {
+            cells.program(block(page)).unwrap();
+        }
+        assert!(matches!(
+            cells.program(block(0)),
+            Err(FlashError::BlockFull { .. })
+        ));
+        cells.erase(block(0)).unwrap();
+        assert_eq!(cells.erase_count(block(0)), 1);
+        cells.program(block(0)).unwrap();
+        assert!(cells.is_programmed(block(0)));
+        assert!(!cells.is_programmed(block(1)));
+    }
+
+    #[test]
+    fn blocks_are_independent() {
+        let (g, mut cells) = setup();
+        cells.program(g.page_addr(0, 0, 0, 0, 0, 0)).unwrap();
+        cells.program(g.page_addr(0, 0, 0, 1, 0, 0)).unwrap();
+        cells.program(g.page_addr(0, 1, 0, 0, 0, 0)).unwrap();
+        assert_eq!(cells.write_pointer(g.page_addr(0, 0, 0, 0, 0, 0)), 1);
+        assert_eq!(cells.write_pointer(g.page_addr(0, 0, 0, 0, 1, 0)), 0);
+        assert_eq!(cells.write_pointer(g.page_addr(0, 0, 0, 1, 0, 0)), 1);
+        assert_eq!(cells.write_pointer(g.page_addr(0, 1, 0, 0, 0, 0)), 1);
+    }
+
+    #[test]
+    fn invalid_addresses_are_rejected() {
+        let (g, mut cells) = setup();
+        let bad = g.page_addr(0, 0, 0, 0, 99, 0);
+        assert!(matches!(
+            cells.program(bad),
+            Err(FlashError::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cells.erase(bad),
+            Err(FlashError::AddressOutOfRange { .. })
+        ));
+        assert!(!cells.is_programmed(bad));
+    }
+
+    #[test]
+    fn wear_statistics_track_erases() {
+        let (g, mut cells) = setup();
+        let a = g.page_addr(0, 0, 0, 0, 0, 0);
+        let b = g.page_addr(0, 0, 0, 0, 1, 0);
+        for _ in 0..3 {
+            cells.erase(a).unwrap();
+        }
+        cells.erase(b).unwrap();
+        assert_eq!(cells.max_erase_count(), 3);
+        assert_eq!(cells.total_erases(), 4);
+        assert!(cells.mean_erase_count() > 0.0);
+        assert!(cells.mean_erase_count() < 1.0);
+    }
+
+    #[test]
+    fn geometry_accessor_returns_configuration() {
+        let (g, cells) = setup();
+        assert_eq!(cells.geometry(), &g);
+    }
+}

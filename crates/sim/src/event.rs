@@ -1,0 +1,223 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue`] orders arbitrary payloads by firing time.  Events scheduled for the
+//! same instant pop in the order they were scheduled (FIFO), which keeps simulations
+//! deterministic without requiring payloads to be `Ord`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of simulation events.
+///
+/// The payload type `E` is completely opaque to the queue; only the firing time and
+/// an internal sequence number determine ordering.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(10), "late");
+/// q.schedule(SimTime::from_nanos(5), "early");
+/// q.schedule(SimTime::from_nanos(5), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling an event in the past (before the last popped event) is allowed but
+    /// the event will fire "now"; the queue clamps it to the current time so
+    /// simulated time never runs backwards.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Removes and returns the next event together with its firing time, advancing
+    /// the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Returns the firing time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), "a");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(100));
+        assert_eq!(q.now(), SimTime::from_nanos(100));
+        // Scheduling in the past clamps to now.
+        q.schedule(SimTime::from_nanos(10), "b");
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "first");
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + Duration::from_nanos(5), "second");
+        q.schedule(t + Duration::from_nanos(1), "third");
+        assert_eq!(q.pop().unwrap().1, "third");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn debug_output_mentions_len() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), 1u8);
+        let s = format!("{q:?}");
+        assert!(s.contains("len"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for the SSD substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use sprinkler_flash::FlashError;
+
+/// Errors reported by the SSD substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SsdError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// An error bubbled up from the flash model.
+    Flash(FlashError),
+    /// The simulated SSD ran out of physical space and could not allocate a write.
+    OutOfSpace,
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::InvalidConfig(reason) => write!(f, "invalid SSD configuration: {reason}"),
+            SsdError::Flash(e) => write!(f, "flash error: {e}"),
+            SsdError::OutOfSpace => write!(f, "SSD is out of physical space"),
+        }
+    }
+}
+
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for SsdError {
+    fn from(e: FlashError) -> Self {
+        SsdError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        let e = SsdError::InvalidConfig("queue_depth must be non-zero".into());
+        assert!(e.to_string().contains("queue_depth"));
+        assert!(SsdError::OutOfSpace.to_string().contains("space"));
+        let f = SsdError::from(FlashError::EmptyTransaction);
+        assert!(f.to_string().contains("flash"));
+    }
+
+    #[test]
+    fn source_chains_flash_errors() {
+        use std::error::Error as _;
+        let e = SsdError::Flash(FlashError::EmptyTransaction);
+        assert!(e.source().is_some());
+        assert!(SsdError::OutOfSpace.source().is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Many-chip SSD system substrate for the Sprinkler reproduction.
+//!
+//! This crate implements the SSD architecture of §2 of the paper — everything the
+//! schedulers need to sit on top of:
+//!
+//! * the NVMHC device-level queue and memory-request composition pipeline
+//!   ([`queue`], [`request`], [`dma`]),
+//! * per-channel flash controllers that coalesce committed memory requests into
+//!   flash transactions with die interleaving and plane sharing ([`controller`],
+//!   [`channel`]),
+//! * a page-level FTL with static plane striping, greedy garbage collection, and
+//!   wear accounting ([`ftl`]),
+//! * the [`scheduler::IoScheduler`] trait the paper's controllers (VAS, PAS,
+//!   SPK1–3 in the `sprinkler-core` crate) implement,
+//! * the event-driven simulator itself ([`ssd::Ssd`]) and the run metrics every
+//!   figure of the evaluation is derived from ([`metrics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sprinkler_ssd::{Ssd, SsdConfig};
+//! use sprinkler_ssd::scheduler::CommitAllScheduler;
+//! use sprinkler_ssd::request::{Direction, HostRequest};
+//! use sprinkler_flash::Lpn;
+//! use sprinkler_sim::SimTime;
+//!
+//! let mut trace = Vec::new();
+//! for i in 0..16u64 {
+//!     trace.push(HostRequest::new(i, SimTime::from_micros(i * 20), Direction::Read,
+//!                                 Lpn::new(i * 8), 8));
+//! }
+//! let ssd = Ssd::new(SsdConfig::small_test(), Box::new(CommitAllScheduler::new())).unwrap();
+//! let metrics = ssd.run(trace);
+//! assert_eq!(metrics.io_count, 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod config;
+pub mod controller;
+pub mod dma;
+pub mod error;
+pub mod ftl;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod ssd;
+
+pub use config::{AllocationPolicy, GcConfig, SsdConfig};
+pub use error::SsdError;
+pub use metrics::{ExecutionBreakdown, FlpBreakdown, MetricsCollector, RunMetrics};
+pub use request::{Direction, HostRequest, MemReqId, MemoryRequest, Placement, TagId};
+pub use scheduler::{ChipOccupancy, Commitment, IoScheduler, SchedulerContext};
+pub use ssd::Ssd;

@@ -1,0 +1,443 @@
+//! Run metrics: everything the paper's evaluation section measures.
+//!
+//! The [`MetricsCollector`] is fed by the SSD simulator while it runs; at the end
+//! of a run it is frozen into a [`RunMetrics`] value that the experiment harness
+//! turns into the rows and series of the paper's tables and figures.
+
+use serde::{Deserialize, Serialize};
+use sprinkler_flash::ParallelismLevel;
+use sprinkler_sim::{Duration, Histogram, MeanStat, SimTime};
+
+use crate::ftl::GcStats;
+
+/// Fractions of memory requests served at each flash-level parallelism class
+/// (Fig 14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlpBreakdown {
+    /// Served with no flash-level parallelism.
+    pub non_pal: f64,
+    /// Served via plane sharing.
+    pub pal1: f64,
+    /// Served via die interleaving.
+    pub pal2: f64,
+    /// Served via die interleaving combined with plane sharing.
+    pub pal3: f64,
+}
+
+impl FlpBreakdown {
+    /// The four fractions in `[NON-PAL, PAL1, PAL2, PAL3]` order.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.non_pal, self.pal1, self.pal2, self.pal3]
+    }
+
+    /// Weighted average parallelism class (0 = NON-PAL … 3 = PAL3); a scalar
+    /// summary used in assertions and reports.
+    pub fn mean_level(&self) -> f64 {
+        self.pal1 + 2.0 * self.pal2 + 3.0 * self.pal3
+    }
+}
+
+/// Execution-time breakdown fractions (Fig 13).  Fractions are of total chip-time
+/// (elapsed time × number of chips) and sum to ≤ 1, the remainder being idle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionBreakdown {
+    /// Time chips spent driving bus operations (commands, addresses, payload).
+    pub bus_operation: f64,
+    /// Time transactions waited for a busy channel.
+    pub bus_contention: f64,
+    /// Time flash memory cells were active.
+    pub memory_operation: f64,
+    /// Remaining (idle) fraction.
+    pub idle: f64,
+}
+
+/// All measurements from one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Scheduler that produced this run.
+    pub scheduler: String,
+    /// Host I/O requests completed.
+    pub io_count: u64,
+    /// Completed reads.
+    pub read_ios: u64,
+    /// Completed writes.
+    pub write_ios: u64,
+    /// Bytes returned to the host by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted from the host by writes.
+    pub bytes_written: u64,
+    /// Simulated time from the first arrival to the last completion, in ns.
+    pub elapsed_ns: u64,
+    /// I/O bandwidth in KB/s (the unit of Fig 10a).
+    pub bandwidth_kb_per_sec: f64,
+    /// I/O operations per second (Fig 10b).
+    pub iops: f64,
+    /// Mean device-level latency per I/O request in ns (Fig 10c).
+    pub avg_latency_ns: f64,
+    /// 99th-percentile latency in ns.
+    pub p99_latency_ns: u64,
+    /// Maximum latency in ns.
+    pub max_latency_ns: u64,
+    /// Total time host requests waited for a device-queue slot, in ns (Fig 10d is
+    /// this value normalized to VAS).
+    pub queue_stall_ns: u64,
+    /// Mean chip utilization: busy time / elapsed, averaged over chips (Figs 6/15).
+    pub chip_utilization: f64,
+    /// Inter-chip idleness (Fig 11a).
+    pub inter_chip_idleness: f64,
+    /// Intra-chip idleness (Fig 11b).
+    pub intra_chip_idleness: f64,
+    /// Flash-level parallelism breakdown (Fig 14).
+    pub flp: FlpBreakdown,
+    /// Execution-time breakdown (Fig 13).
+    pub execution: ExecutionBreakdown,
+    /// Number of flash transactions executed (Fig 16).
+    pub transactions: u64,
+    /// Number of memory requests served.
+    pub memory_requests: u64,
+    /// Memory requests folded per transaction, on average.
+    pub requests_per_transaction: f64,
+    /// Garbage collection statistics (Fig 17).
+    pub gc: GcStats,
+    /// Optional per-I/O latency time series `(host request id, latency ns)`
+    /// (Fig 12); populated only when series recording is enabled.
+    pub latency_series: Vec<(u64, u64)>,
+}
+
+impl RunMetrics {
+    /// Average latency expressed in milliseconds.
+    pub fn avg_latency_ms(&self) -> f64 {
+        self.avg_latency_ns / 1e6
+    }
+
+    /// Bandwidth expressed in MB/s.
+    pub fn bandwidth_mb_per_sec(&self) -> f64 {
+        self.bandwidth_kb_per_sec / 1024.0
+    }
+}
+
+/// Collects measurements during a run.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    scheduler: String,
+    record_series: bool,
+    io_count: u64,
+    read_ios: u64,
+    write_ios: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    latency: MeanStat,
+    latency_hist: Histogram,
+    queue_stall: Duration,
+    first_arrival: Option<SimTime>,
+    last_completion: SimTime,
+    flp_requests: [u64; 4],
+    transactions: u64,
+    memory_requests: u64,
+    bus_operation: Duration,
+    bus_contention: Duration,
+    cell_operation: Duration,
+    latency_series: Vec<(u64, u64)>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for a run driven by `scheduler`.
+    pub fn new(scheduler: &str, record_series: bool) -> Self {
+        MetricsCollector {
+            scheduler: scheduler.to_string(),
+            record_series,
+            io_count: 0,
+            read_ios: 0,
+            write_ios: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            latency: MeanStat::new(),
+            // Buckets from 1 µs to ~68 s.
+            latency_hist: Histogram::exponential(1_000, 27),
+            queue_stall: Duration::ZERO,
+            first_arrival: None,
+            last_completion: SimTime::ZERO,
+            flp_requests: [0; 4],
+            transactions: 0,
+            memory_requests: 0,
+            bus_operation: Duration::ZERO,
+            bus_contention: Duration::ZERO,
+            cell_operation: Duration::ZERO,
+            latency_series: Vec::new(),
+        }
+    }
+
+    /// Records a host arrival.
+    pub fn record_arrival(&mut self, at: SimTime) {
+        let first = self.first_arrival.get_or_insert(at);
+        *first = (*first).min(at);
+    }
+
+    /// Records the admission of a host request that arrived at `arrival` into the
+    /// device queue at `admitted` (the difference is queue stall).
+    pub fn record_admission(&mut self, arrival: SimTime, admitted: SimTime) {
+        self.queue_stall += admitted.saturating_since(arrival);
+    }
+
+    /// Records a completed host I/O.
+    pub fn record_io(
+        &mut self,
+        host_id: u64,
+        is_read: bool,
+        bytes: u64,
+        arrival: SimTime,
+        completed: SimTime,
+    ) {
+        self.io_count += 1;
+        if is_read {
+            self.read_ios += 1;
+            self.bytes_read += bytes;
+        } else {
+            self.write_ios += 1;
+            self.bytes_written += bytes;
+        }
+        let latency = completed.saturating_since(arrival);
+        self.latency.record(latency.as_nanos() as f64);
+        self.latency_hist.record(latency.as_nanos());
+        self.last_completion = self.last_completion.max(completed);
+        if self.record_series {
+            self.latency_series.push((host_id, latency.as_nanos()));
+        }
+    }
+
+    /// Records an executed flash transaction: its parallelism class, how many
+    /// memory requests it folded, its bus occupancy, the contention it suffered,
+    /// and its cell time.
+    pub fn record_transaction(
+        &mut self,
+        level: ParallelismLevel,
+        requests: usize,
+        bus_time: Duration,
+        contention: Duration,
+        cell_time: Duration,
+    ) {
+        self.transactions += 1;
+        self.memory_requests += requests as u64;
+        let idx = match level {
+            ParallelismLevel::NonPal => 0,
+            ParallelismLevel::Pal1 => 1,
+            ParallelismLevel::Pal2 => 2,
+            ParallelismLevel::Pal3 => 3,
+        };
+        self.flp_requests[idx] += requests as u64;
+        self.bus_operation += bus_time;
+        self.bus_contention += contention;
+        self.cell_operation += cell_time;
+    }
+
+    /// Number of I/Os completed so far.
+    pub fn completed_ios(&self) -> u64 {
+        self.io_count
+    }
+
+    /// Freezes the collector into a [`RunMetrics`], given the final simulation
+    /// time, per-chip busy/plane-busy totals, and GC statistics.
+    pub fn finalize(
+        self,
+        end: SimTime,
+        chip_busy: &[Duration],
+        chip_plane_busy: &[Duration],
+        planes_per_chip: usize,
+        gc: GcStats,
+    ) -> RunMetrics {
+        let start = self.first_arrival.unwrap_or(SimTime::ZERO);
+        let end = end.max(self.last_completion);
+        let elapsed = end.saturating_since(start);
+        let elapsed_secs = elapsed.as_secs_f64().max(1e-12);
+
+        let chips = chip_busy.len().max(1);
+        let utilization = if elapsed.is_zero() {
+            0.0
+        } else {
+            chip_busy
+                .iter()
+                .map(|b| b.as_nanos() as f64 / elapsed.as_nanos() as f64)
+                .sum::<f64>()
+                / chips as f64
+        };
+        let total_chip_busy: f64 = chip_busy.iter().map(|b| b.as_nanos() as f64).sum();
+        let total_plane_busy: f64 = chip_plane_busy.iter().map(|b| b.as_nanos() as f64).sum();
+        let intra_idle = if total_chip_busy <= 0.0 || planes_per_chip == 0 {
+            0.0
+        } else {
+            (1.0 - total_plane_busy / (total_chip_busy * planes_per_chip as f64)).clamp(0.0, 1.0)
+        };
+
+        let total_requests: u64 = self.flp_requests.iter().sum();
+        let frac = |n: u64| {
+            if total_requests == 0 {
+                0.0
+            } else {
+                n as f64 / total_requests as f64
+            }
+        };
+        let flp = FlpBreakdown {
+            non_pal: frac(self.flp_requests[0]),
+            pal1: frac(self.flp_requests[1]),
+            pal2: frac(self.flp_requests[2]),
+            pal3: frac(self.flp_requests[3]),
+        };
+
+        let total_chip_time = elapsed.as_nanos() as f64 * chips as f64;
+        let breakdown_frac = |d: Duration| {
+            if total_chip_time <= 0.0 {
+                0.0
+            } else {
+                (d.as_nanos() as f64 / total_chip_time).clamp(0.0, 1.0)
+            }
+        };
+        let bus_operation = breakdown_frac(self.bus_operation);
+        let bus_contention = breakdown_frac(self.bus_contention);
+        let memory_operation = breakdown_frac(self.cell_operation);
+        let execution = ExecutionBreakdown {
+            bus_operation,
+            bus_contention,
+            memory_operation,
+            idle: (1.0 - bus_operation - bus_contention - memory_operation).clamp(0.0, 1.0),
+        };
+
+        let total_bytes = self.bytes_read + self.bytes_written;
+        RunMetrics {
+            scheduler: self.scheduler,
+            io_count: self.io_count,
+            read_ios: self.read_ios,
+            write_ios: self.write_ios,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            elapsed_ns: elapsed.as_nanos(),
+            bandwidth_kb_per_sec: total_bytes as f64 / 1024.0 / elapsed_secs,
+            iops: self.io_count as f64 / elapsed_secs,
+            avg_latency_ns: self.latency.mean(),
+            p99_latency_ns: self.latency_hist.quantile(0.99),
+            max_latency_ns: self.latency_hist.max(),
+            queue_stall_ns: self.queue_stall.as_nanos(),
+            chip_utilization: utilization,
+            inter_chip_idleness: (1.0 - utilization).clamp(0.0, 1.0),
+            intra_chip_idleness: intra_idle,
+            flp,
+            execution,
+            transactions: self.transactions,
+            memory_requests: self.memory_requests,
+            requests_per_transaction: if self.transactions == 0 {
+                0.0
+            } else {
+                self.memory_requests as f64 / self.transactions as f64
+            },
+            gc,
+            latency_series: self.latency_series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn basic_io_accounting() {
+        let mut m = MetricsCollector::new("test", true);
+        m.record_arrival(micros(0));
+        m.record_admission(micros(0), micros(2));
+        m.record_io(0, true, 4096, micros(0), micros(100));
+        m.record_io(1, false, 2048, micros(10), micros(60));
+        assert_eq!(m.completed_ios(), 2);
+        let r = m.finalize(micros(100), &[Duration::from_micros(50)], &[Duration::from_micros(50)], 8, GcStats::default());
+        assert_eq!(r.io_count, 2);
+        assert_eq!(r.read_ios, 1);
+        assert_eq!(r.write_ios, 1);
+        assert_eq!(r.bytes_read, 4096);
+        assert_eq!(r.bytes_written, 2048);
+        assert_eq!(r.elapsed_ns, 100_000);
+        assert_eq!(r.queue_stall_ns, 2_000);
+        assert!((r.avg_latency_ns - 75_000.0).abs() < 1.0);
+        assert_eq!(r.scheduler, "test");
+        assert_eq!(r.latency_series.len(), 2);
+        assert!(r.iops > 0.0);
+        assert!(r.bandwidth_kb_per_sec > 0.0);
+        assert!((r.bandwidth_mb_per_sec() - r.bandwidth_kb_per_sec / 1024.0).abs() < 1e-9);
+        assert!((r.avg_latency_ms() - 0.075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_and_idleness() {
+        let mut m = MetricsCollector::new("util", false);
+        m.record_arrival(micros(0));
+        m.record_io(0, true, 2048, micros(0), micros(100));
+        let chip_busy = vec![Duration::from_micros(100), Duration::from_micros(0)];
+        // Chip 0 busy the whole time but only 1 of 8 plane-equivalents active.
+        let plane_busy = vec![Duration::from_micros(100), Duration::ZERO];
+        let r = m.finalize(micros(100), &chip_busy, &plane_busy, 8, GcStats::default());
+        assert!((r.chip_utilization - 0.5).abs() < 1e-9);
+        assert!((r.inter_chip_idleness - 0.5).abs() < 1e-9);
+        assert!((r.intra_chip_idleness - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flp_and_execution_breakdowns() {
+        let mut m = MetricsCollector::new("flp", false);
+        m.record_arrival(micros(0));
+        m.record_io(0, true, 2048, micros(0), micros(200));
+        m.record_transaction(
+            ParallelismLevel::NonPal,
+            1,
+            Duration::from_micros(10),
+            Duration::from_micros(5),
+            Duration::from_micros(20),
+        );
+        m.record_transaction(
+            ParallelismLevel::Pal3,
+            4,
+            Duration::from_micros(20),
+            Duration::ZERO,
+            Duration::from_micros(20),
+        );
+        let r = m.finalize(
+            micros(200),
+            &[Duration::from_micros(100)],
+            &[Duration::from_micros(100)],
+            8,
+            GcStats::default(),
+        );
+        assert!((r.flp.non_pal - 0.2).abs() < 1e-9);
+        assert!((r.flp.pal3 - 0.8).abs() < 1e-9);
+        assert_eq!(r.flp.as_array()[0], r.flp.non_pal);
+        assert!(r.flp.mean_level() > 2.0);
+        assert_eq!(r.transactions, 2);
+        assert_eq!(r.memory_requests, 5);
+        assert!((r.requests_per_transaction - 2.5).abs() < 1e-9);
+        // Execution fractions: total chip time = 200us * 1 chip.
+        assert!((r.execution.bus_operation - 0.15).abs() < 1e-9);
+        assert!((r.execution.bus_contention - 0.025).abs() < 1e-9);
+        assert!((r.execution.memory_operation - 0.2).abs() < 1e-9);
+        assert!((r.execution.idle - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_recording_is_optional() {
+        let mut m = MetricsCollector::new("s", false);
+        m.record_arrival(micros(0));
+        m.record_io(0, true, 2048, micros(0), micros(10));
+        let r = m.finalize(micros(10), &[], &[], 8, GcStats::default());
+        assert!(r.latency_series.is_empty());
+        assert_eq!(r.chip_utilization, 0.0);
+    }
+
+    #[test]
+    fn empty_run_finalizes_cleanly() {
+        let m = MetricsCollector::new("empty", false);
+        let r = m.finalize(SimTime::ZERO, &[], &[], 0, GcStats::default());
+        assert_eq!(r.io_count, 0);
+        assert_eq!(r.avg_latency_ns, 0.0);
+        assert_eq!(r.requests_per_transaction, 0.0);
+        assert_eq!(r.flp.as_array(), [0.0; 4]);
+    }
+}

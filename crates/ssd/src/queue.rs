@@ -1,0 +1,335 @@
+//! The NVMHC device-level queue (NCQ-style).
+//!
+//! The queue holds *tags* — admitted host I/O requests — in arrival order.  All the
+//! schedulers evaluated in the paper sit on top of the same out-of-order-capable
+//! device queue; they differ only in how they compose and commit memory requests
+//! from the queued tags.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use sprinkler_sim::SimTime;
+
+use crate::request::{HostRequest, Placement, TagId};
+
+/// Per-tag state while the I/O request sits in the device queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagState {
+    /// The tag identifier.
+    pub id: TagId,
+    /// The originating host request.
+    pub host: HostRequest,
+    /// When the tag was admitted into the device queue.
+    pub admitted_at: SimTime,
+    /// Physical placement preview per page (filled by the FTL preprocessor).
+    pub placements: Vec<Placement>,
+    /// Whether each page has been committed as a memory request.
+    pub committed: Vec<bool>,
+    /// Whether each page's memory request has fully completed.  This is the
+    /// per-queue-entry completion bitmap described in §4.4 ("The Order of Output
+    /// Data").
+    pub completed: Vec<bool>,
+    /// When the first memory request of this tag was committed.
+    pub first_commit_at: Option<SimTime>,
+}
+
+impl TagState {
+    /// Creates the state for a newly admitted tag.
+    pub fn new(
+        id: TagId,
+        host: HostRequest,
+        admitted_at: SimTime,
+        placements: Vec<Placement>,
+    ) -> Self {
+        let pages = host.pages as usize;
+        debug_assert_eq!(placements.len(), pages);
+        TagState {
+            id,
+            host,
+            admitted_at,
+            placements,
+            committed: vec![false; pages],
+            completed: vec![false; pages],
+            first_commit_at: None,
+        }
+    }
+
+    /// Number of pages in the I/O request.
+    pub fn pages(&self) -> usize {
+        self.host.pages as usize
+    }
+
+    /// Page offsets not yet committed.
+    pub fn uncommitted_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        self.committed
+            .iter()
+            .enumerate()
+            .filter(|(_, &done)| !done)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Number of pages not yet committed.
+    pub fn uncommitted_count(&self) -> usize {
+        self.committed.iter().filter(|&&c| !c).count()
+    }
+
+    /// True once every page has been committed.
+    pub fn fully_committed(&self) -> bool {
+        self.committed.iter().all(|&c| c)
+    }
+
+    /// True once every page's memory request has completed.
+    pub fn fully_completed(&self) -> bool {
+        self.completed.iter().all(|&c| c)
+    }
+
+    /// Marks a page committed.  Returns `false` if it was already committed.
+    pub fn mark_committed(&mut self, page: u32, now: SimTime) -> bool {
+        let slot = &mut self.committed[page as usize];
+        if *slot {
+            return false;
+        }
+        *slot = true;
+        self.first_commit_at.get_or_insert(now);
+        true
+    }
+
+    /// Marks a page's memory request completed (clears its bitmap bit).
+    pub fn mark_completed(&mut self, page: u32) {
+        self.completed[page as usize] = true;
+    }
+}
+
+/// The bounded device-level queue.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_ssd::queue::DeviceQueue;
+/// use sprinkler_ssd::request::{Direction, HostRequest, TagId};
+/// use sprinkler_flash::Lpn;
+/// use sprinkler_sim::SimTime;
+///
+/// let mut q = DeviceQueue::new(2);
+/// assert!(!q.is_full());
+/// let host = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 1);
+/// q.admit(TagId(0), host, SimTime::ZERO, vec![]);
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceQueue {
+    capacity: usize,
+    /// Tags in arrival order.
+    order: VecDeque<TagId>,
+    /// Tag state, indexed by position in `order` lookups.
+    tags: Vec<Option<TagState>>,
+}
+
+impl DeviceQueue {
+    /// Creates an empty queue with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        DeviceQueue {
+            capacity,
+            order: VecDeque::with_capacity(capacity),
+            tags: Vec::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tags currently queued.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no tags are queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// True when no further tag can be admitted.
+    pub fn is_full(&self) -> bool {
+        self.order.len() >= self.capacity
+    }
+
+    fn slot(&self, id: TagId) -> Option<usize> {
+        let idx = id.0 as usize;
+        if idx < self.tags.len() && self.tags[idx].is_some() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Admits a host request as a tag.  The caller is responsible for checking
+    /// [`DeviceQueue::is_full`] first; admission beyond capacity is allowed only to
+    /// keep property tests simple and is debug-asserted against.
+    ///
+    /// Placement previews may be empty if the scheduler never consults them
+    /// (virtual address scheduling); in that case page accounting still works but
+    /// placement lookups must not be used.
+    pub fn admit(
+        &mut self,
+        id: TagId,
+        host: HostRequest,
+        now: SimTime,
+        placements: Vec<Placement>,
+    ) {
+        debug_assert!(!self.is_full(), "admitting into a full device queue");
+        let placements = if placements.is_empty() {
+            vec![
+                Placement {
+                    chip: 0,
+                    channel: 0,
+                    way: 0,
+                    die: 0,
+                    plane: 0,
+                };
+                host.pages as usize
+            ]
+        } else {
+            placements
+        };
+        let state = TagState::new(id, host, now, placements);
+        let idx = id.0 as usize;
+        if idx >= self.tags.len() {
+            self.tags.resize(idx + 1, None);
+        }
+        self.tags[idx] = Some(state);
+        self.order.push_back(id);
+    }
+
+    /// Removes a completed tag, freeing its queue slot.  Returns its final state.
+    pub fn retire(&mut self, id: TagId) -> Option<TagState> {
+        let idx = self.slot(id)?;
+        self.order.retain(|&t| t != id);
+        self.tags[idx].take()
+    }
+
+    /// Queued tag identifiers in arrival order.
+    pub fn tags_in_order(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Looks up a tag's state.
+    pub fn tag(&self, id: TagId) -> Option<&TagState> {
+        self.slot(id).and_then(|i| self.tags[i].as_ref())
+    }
+
+    /// Looks up a tag's state mutably.
+    pub fn tag_mut(&mut self, id: TagId) -> Option<&mut TagState> {
+        match self.slot(id) {
+            Some(i) => self.tags[i].as_mut(),
+            None => None,
+        }
+    }
+
+    /// Total uncommitted pages across all queued tags.
+    pub fn total_uncommitted_pages(&self) -> usize {
+        self.order
+            .iter()
+            .filter_map(|&id| self.tag(id))
+            .map(|t| t.uncommitted_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Direction;
+    use sprinkler_flash::Lpn;
+
+    fn host(id: u64, pages: u32) -> HostRequest {
+        HostRequest::new(id, SimTime::ZERO, Direction::Write, Lpn::new(id * 100), pages)
+    }
+
+    fn placements(n: usize) -> Vec<Placement> {
+        (0..n)
+            .map(|i| Placement {
+                chip: i,
+                channel: 0,
+                way: i as u32,
+                die: 0,
+                plane: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn admit_and_retire_roundtrip() {
+        let mut q = DeviceQueue::new(4);
+        q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2));
+        q.admit(TagId(1), host(1, 3), SimTime::from_nanos(5), placements(3));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert!(!q.is_full());
+        assert_eq!(
+            q.tags_in_order().collect::<Vec<_>>(),
+            vec![TagId(0), TagId(1)]
+        );
+        let retired = q.retire(TagId(0)).unwrap();
+        assert_eq!(retired.host.id, 0);
+        assert_eq!(q.len(), 1);
+        assert!(q.tag(TagId(0)).is_none());
+        assert!(q.retire(TagId(0)).is_none());
+    }
+
+    #[test]
+    fn capacity_is_reported() {
+        let mut q = DeviceQueue::new(2);
+        q.admit(TagId(0), host(0, 1), SimTime::ZERO, placements(1));
+        assert!(!q.is_full());
+        q.admit(TagId(1), host(1, 1), SimTime::ZERO, placements(1));
+        assert!(q.is_full());
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn tag_commit_and_complete_bitmaps() {
+        let mut q = DeviceQueue::new(4);
+        q.admit(TagId(7), host(7, 3), SimTime::from_nanos(10), placements(3));
+        let tag = q.tag_mut(TagId(7)).unwrap();
+        assert_eq!(tag.uncommitted_count(), 3);
+        assert_eq!(tag.uncommitted_pages().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(tag.mark_committed(1, SimTime::from_nanos(20)));
+        assert!(!tag.mark_committed(1, SimTime::from_nanos(30)));
+        assert_eq!(tag.first_commit_at, Some(SimTime::from_nanos(20)));
+        assert_eq!(tag.uncommitted_pages().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(!tag.fully_committed());
+        tag.mark_committed(0, SimTime::from_nanos(40));
+        tag.mark_committed(2, SimTime::from_nanos(40));
+        assert!(tag.fully_committed());
+        assert!(!tag.fully_completed());
+        tag.mark_completed(0);
+        tag.mark_completed(1);
+        tag.mark_completed(2);
+        assert!(tag.fully_completed());
+    }
+
+    #[test]
+    fn total_uncommitted_pages_sums_tags() {
+        let mut q = DeviceQueue::new(4);
+        q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2));
+        q.admit(TagId(1), host(1, 5), SimTime::ZERO, placements(5));
+        assert_eq!(q.total_uncommitted_pages(), 7);
+        q.tag_mut(TagId(1)).unwrap().mark_committed(0, SimTime::ZERO);
+        assert_eq!(q.total_uncommitted_pages(), 6);
+    }
+
+    #[test]
+    fn empty_placements_are_padded() {
+        let mut q = DeviceQueue::new(2);
+        q.admit(TagId(0), host(0, 3), SimTime::ZERO, Vec::new());
+        assert_eq!(q.tag(TagId(0)).unwrap().placements.len(), 3);
+    }
+
+    #[test]
+    fn tag_state_page_count() {
+        let state = TagState::new(TagId(1), host(1, 4), SimTime::ZERO, placements(4));
+        assert_eq!(state.pages(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! The device-level I/O scheduler interface (NVMHC scheduling hook).
+//!
+//! All the controllers the paper compares — VAS, PAS, and the Sprinkler variants —
+//! are implemented against this trait (in the `sprinkler-core` crate).  The SSD
+//! substrate invokes [`IoScheduler::schedule`] whenever scheduling-relevant state
+//! changes (tag admission, memory-request completion, transaction completion); the
+//! scheduler inspects the device queue and the physical occupancy view and returns
+//! the memory requests it wants to compose and commit.
+
+use std::fmt;
+
+use sprinkler_flash::FlashGeometry;
+use sprinkler_sim::SimTime;
+
+use crate::ftl::PageMigration;
+use crate::queue::{DeviceQueue, TagState};
+use crate::request::TagId;
+
+/// Occupancy of one flash chip, as visible to the scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChipOccupancy {
+    /// Flat chip index.
+    pub chip: usize,
+    /// True while the chip is executing a flash transaction.
+    pub busy: bool,
+    /// Committed host memory requests that have not completed yet (in DMA, pending
+    /// at the controller, executing, or returning data).
+    pub outstanding: usize,
+}
+
+/// One scheduling decision: compose and commit the memory request for page
+/// `page` of tag `tag`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Commitment {
+    /// The tag whose page is being committed.
+    pub tag: TagId,
+    /// The page offset within the tag's I/O request.
+    pub page: u32,
+}
+
+/// Everything a scheduler may inspect when making decisions.
+///
+/// The context borrows the SSD's state; schedulers never mutate the SSD directly —
+/// they only return [`Commitment`]s.
+#[derive(Debug)]
+pub struct SchedulerContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Flash geometry (chip/die/plane counts).
+    pub geometry: &'a FlashGeometry,
+    /// The device-level queue with per-tag commitment/completion state.
+    pub queue: &'a DeviceQueue,
+    /// Per-chip occupancy, indexed by flat chip index.
+    pub occupancy: &'a [ChipOccupancy],
+    /// Hard cap on committed-but-incomplete memory requests per chip.
+    pub max_committed_per_chip: usize,
+}
+
+impl<'a> SchedulerContext<'a> {
+    /// Tags in arrival order together with their state.
+    pub fn tags(&self) -> impl Iterator<Item = &'a TagState> + '_ {
+        self.queue
+            .tags_in_order()
+            .filter_map(move |id| self.queue.tag(id))
+    }
+
+    /// Outstanding committed requests for a chip.
+    pub fn outstanding(&self, chip: usize) -> usize {
+        self.occupancy.get(chip).map_or(0, |o| o.outstanding)
+    }
+
+    /// Whether a chip is currently executing a transaction.
+    pub fn chip_busy(&self, chip: usize) -> bool {
+        self.occupancy.get(chip).map_or(false, |o| o.busy)
+    }
+
+    /// Remaining commit capacity for a chip under the hard cap.
+    pub fn capacity_left(&self, chip: usize) -> usize {
+        self.max_committed_per_chip
+            .saturating_sub(self.outstanding(chip))
+    }
+
+    /// Total number of chips.
+    pub fn chip_count(&self) -> usize {
+        self.occupancy.len()
+    }
+}
+
+/// A device-level I/O scheduler implemented in the NVMHC.
+pub trait IoScheduler: fmt::Debug + Send {
+    /// Human-readable scheduler name ("VAS", "PAS", "SPK3", ...).
+    fn name(&self) -> &'static str;
+
+    /// Called once before the simulation starts.
+    fn initialize(&mut self, _geometry: &FlashGeometry) {}
+
+    /// Decides which memory requests to compose and commit right now.
+    ///
+    /// Returned commitments are applied in order; commitments that are invalid
+    /// (unknown tag, already-committed page) are ignored by the SSD, and
+    /// commitments beyond a chip's hard capacity are deferred.
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment>;
+
+    /// Notification that a committed memory request completed.
+    fn on_complete(&mut self, _tag: TagId, _page: u32) {}
+
+    /// Whether this scheduler implements the readdressing callback of §4.3.
+    fn supports_readdressing(&self) -> bool {
+        false
+    }
+
+    /// Live-data migration notification (only delivered when
+    /// [`IoScheduler::supports_readdressing`] returns `true`).
+    fn on_readdress(&mut self, _migration: &PageMigration) {}
+}
+
+/// A minimal reference scheduler that eagerly commits every uncommitted page of
+/// every queued tag, in arrival order, up to each chip's hard capacity.
+///
+/// It exists for substrate tests and as a documentation example; the paper's
+/// schedulers live in the `sprinkler-core` crate.
+#[derive(Debug, Default, Clone)]
+pub struct CommitAllScheduler;
+
+impl CommitAllScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        CommitAllScheduler
+    }
+}
+
+impl IoScheduler for CommitAllScheduler {
+    fn name(&self) -> &'static str {
+        "commit-all"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let mut budget: Vec<usize> = ctx
+            .occupancy
+            .iter()
+            .map(|o| ctx.max_committed_per_chip.saturating_sub(o.outstanding))
+            .collect();
+        let mut out = Vec::new();
+        for tag in ctx.tags() {
+            for page in tag.uncommitted_pages() {
+                let chip = tag.placements[page as usize].chip;
+                if budget.get(chip).copied().unwrap_or(0) == 0 {
+                    continue;
+                }
+                budget[chip] -= 1;
+                out.push(Commitment { tag: tag.id, page });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Direction, HostRequest, Placement};
+    use sprinkler_flash::Lpn;
+
+    fn ctx_fixture<'a>(
+        queue: &'a DeviceQueue,
+        occupancy: &'a [ChipOccupancy],
+        geometry: &'a FlashGeometry,
+    ) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now: SimTime::ZERO,
+            geometry,
+            queue,
+            occupancy,
+            max_committed_per_chip: 2,
+        }
+    }
+
+    fn make_queue(geometry: &FlashGeometry) -> DeviceQueue {
+        let mut q = DeviceQueue::new(8);
+        for t in 0..2u64 {
+            let host = HostRequest::new(t, SimTime::ZERO, Direction::Read, Lpn::new(t * 10), 3);
+            let placements = (0..3)
+                .map(|i| Placement {
+                    chip: (t as usize + i) % geometry.total_chips(),
+                    channel: 0,
+                    way: 0,
+                    die: 0,
+                    plane: i as u32 % geometry.planes_per_die as u32,
+                })
+                .collect();
+            q.admit(TagId(t), host, SimTime::ZERO, placements);
+        }
+        q
+    }
+
+    #[test]
+    fn context_views_expose_queue_and_occupancy() {
+        let geometry = FlashGeometry::small_test();
+        let queue = make_queue(&geometry);
+        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
+            .map(|chip| ChipOccupancy {
+                chip,
+                busy: chip == 1,
+                outstanding: chip,
+            })
+            .collect();
+        let ctx = ctx_fixture(&queue, &occupancy, &geometry);
+        assert_eq!(ctx.tags().count(), 2);
+        assert!(ctx.chip_busy(1));
+        assert!(!ctx.chip_busy(0));
+        assert_eq!(ctx.outstanding(2), 2);
+        assert_eq!(ctx.capacity_left(0), 2);
+        assert_eq!(ctx.capacity_left(2), 0);
+        assert_eq!(ctx.chip_count(), geometry.total_chips());
+        assert_eq!(ctx.outstanding(999), 0);
+        assert!(!ctx.chip_busy(999));
+    }
+
+    #[test]
+    fn commit_all_respects_chip_budget() {
+        let geometry = FlashGeometry::small_test();
+        let queue = make_queue(&geometry);
+        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
+            .map(|chip| ChipOccupancy {
+                chip,
+                busy: false,
+                outstanding: if chip == 0 { 2 } else { 0 },
+            })
+            .collect();
+        let ctx = ctx_fixture(&queue, &occupancy, &geometry);
+        let mut sched = CommitAllScheduler::new();
+        assert_eq!(sched.name(), "commit-all");
+        let commitments = sched.schedule(&ctx);
+        // Chip 0 has no budget left, so its pages are skipped.
+        assert!(commitments
+            .iter()
+            .all(|c| queue.tag(c.tag).unwrap().placements[c.page as usize].chip != 0));
+        // All other pages are committed.
+        assert!(!commitments.is_empty());
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for c in &commitments {
+            assert!(seen.insert((c.tag, c.page)));
+        }
+    }
+
+    #[test]
+    fn default_trait_hooks_are_noops() {
+        let mut sched = CommitAllScheduler::new();
+        sched.initialize(&FlashGeometry::small_test());
+        sched.on_complete(TagId(0), 0);
+        assert!(!sched.supports_readdressing());
+    }
+}

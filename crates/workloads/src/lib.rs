@@ -1,0 +1,30 @@
+//! Workloads for the Sprinkler reproduction.
+//!
+//! The paper evaluates on sixteen enterprise traces from the MSR-Cambridge
+//! collection (Table 1): corporate mail file servers (`cfs*`), a hardware monitor
+//! (`hm*`), MSN file storage servers (`msnfs*`), and project directory servers
+//! (`proj*`).  Those traces are not redistributable, so this crate provides:
+//!
+//! * a self-contained trace model ([`Trace`], [`TraceRecord`]),
+//! * a synthetic generator ([`SyntheticSpec`]) parameterized by the statistics
+//!   Table 1 publishes (volumes, request counts, randomness, transactional
+//!   locality),
+//! * the sixteen paper workloads as ready-made specifications ([`table1`]),
+//! * fixed-transfer-size sweep generators for the microbenchmark figures
+//!   (Figs 1, 15, 16, 17) in [`sweep`],
+//! * and trace analysis used to regenerate Table 1 itself ([`stats`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod stats;
+pub mod sweep;
+pub mod synthetic;
+pub mod table1;
+pub mod trace;
+
+pub use stats::TraceStats;
+pub use sweep::SweepSpec;
+pub use synthetic::{Locality, SyntheticSpec};
+pub use table1::{paper_workloads, workload};
+pub use trace::{Trace, TraceOp, TraceRecord};

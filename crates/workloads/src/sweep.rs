@@ -1,0 +1,149 @@
+//! Fixed-transfer-size microbenchmarks.
+//!
+//! Figures 1, 15, 16, and 17 sweep the data transfer size from 4 KB to 4 MB while
+//! keeping the access pattern simple (random offsets, saturating arrivals).  The
+//! [`SweepSpec`] generator produces those workloads.
+
+use serde::{Deserialize, Serialize};
+use sprinkler_sim::{DeterministicRng, Duration, SimTime};
+
+use crate::trace::{Trace, TraceOp, TraceRecord};
+
+/// A fixed-transfer-size microbenchmark.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_workloads::SweepSpec;
+///
+/// let trace = SweepSpec::new(64).with_read_fraction(1.0).generate(100, 1);
+/// assert_eq!(trace.len(), 100);
+/// assert!(trace.iter().all(|r| r.bytes == 64 * 1024));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Transfer size in KB (every request has exactly this size).
+    pub transfer_kb: u64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Logical footprint in MB offsets are drawn from.
+    pub footprint_mb: u64,
+    /// Requests issued back-to-back per burst.
+    pub burst_size: u32,
+    /// Mean gap between bursts in microseconds.
+    pub mean_burst_gap_us: f64,
+}
+
+impl SweepSpec {
+    /// Creates a read-heavy sweep point at the given transfer size.
+    pub fn new(transfer_kb: u64) -> Self {
+        SweepSpec {
+            transfer_kb: transfer_kb.max(1),
+            read_fraction: 1.0,
+            footprint_mb: 4096,
+            burst_size: 8,
+            mean_burst_gap_us: 100.0,
+        }
+    }
+
+    /// Sets the read fraction.
+    pub fn with_read_fraction(mut self, fraction: f64) -> Self {
+        self.read_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the logical footprint in MB.
+    pub fn with_footprint_mb(mut self, mb: u64) -> Self {
+        self.footprint_mb = mb.max(1);
+        self
+    }
+
+    /// Sets the burst shape.
+    pub fn with_bursts(mut self, burst_size: u32, mean_gap_us: f64) -> Self {
+        self.burst_size = burst_size.max(1);
+        self.mean_burst_gap_us = mean_gap_us.max(1.0);
+        self
+    }
+
+    /// Generates `count` requests deterministically from `seed`.
+    pub fn generate(&self, count: u64, seed: u64) -> Trace {
+        let bytes = self.transfer_kb * 1024;
+        let footprint = self.footprint_mb * 1024 * 1024;
+        let mut rng = DeterministicRng::seeded(seed ^ 0x5357_4545_5000_0000 ^ self.transfer_kb);
+        let mut now = SimTime::ZERO;
+        let mut records = Vec::with_capacity(count as usize);
+        for id in 0..count {
+            if id % self.burst_size as u64 == 0 && id != 0 {
+                now += Duration::from_micros_f64(rng.exponential(self.mean_burst_gap_us));
+            }
+            let is_read = rng.bernoulli(self.read_fraction);
+            // Align offsets to the transfer size so requests do not straddle more
+            // pages than necessary.
+            let slots = (footprint / bytes).max(1);
+            let offset = rng.uniform_u64(slots) * bytes;
+            records.push(TraceRecord {
+                id,
+                arrival: now,
+                op: if is_read { TraceOp::Read } else { TraceOp::Write },
+                offset,
+                bytes,
+            });
+        }
+        Trace::new(format!("sweep-{}KB", self.transfer_kb), records)
+    }
+}
+
+/// The transfer sizes (in KB) swept by Figs 15 and 16: 4 KB to 4 MB.
+pub const TRANSFER_SIZES_KB: [u64; 11] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_has_the_requested_size() {
+        for kb in [4u64, 64, 1024] {
+            let trace = SweepSpec::new(kb).generate(50, 3);
+            assert!(trace.iter().all(|r| r.bytes == kb * 1024));
+            assert_eq!(trace.len(), 50);
+        }
+    }
+
+    #[test]
+    fn read_fraction_zero_generates_only_writes() {
+        let trace = SweepSpec::new(16).with_read_fraction(0.0).generate(100, 1);
+        assert!(trace.iter().all(|r| !r.op.is_read()));
+    }
+
+    #[test]
+    fn offsets_are_aligned_and_bounded() {
+        let spec = SweepSpec::new(128).with_footprint_mb(256);
+        let trace = spec.generate(200, 5);
+        for r in trace.iter() {
+            assert_eq!(r.offset % (128 * 1024), 0);
+            assert!(r.offset < 256 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SweepSpec::new(32).generate(100, 9);
+        let b = SweepSpec::new(32).generate(100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_sizes_cover_4kb_to_4mb() {
+        assert_eq!(TRANSFER_SIZES_KB[0], 4);
+        assert_eq!(*TRANSFER_SIZES_KB.last().unwrap(), 4096);
+        assert!(TRANSFER_SIZES_KB.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn bursts_advance_time() {
+        let trace = SweepSpec::new(8).with_bursts(4, 50.0).generate(16, 2);
+        let records = trace.records();
+        assert_eq!(records[0].arrival, records[3].arrival);
+        assert!(records[4].arrival > records[0].arrival);
+    }
+}

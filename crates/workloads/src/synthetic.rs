@@ -1,0 +1,272 @@
+//! Synthetic trace generation parameterized by the statistics of Table 1.
+
+use serde::{Deserialize, Serialize};
+use sprinkler_sim::{DeterministicRng, Duration, SimTime};
+
+use crate::trace::{Trace, TraceOp, TraceRecord};
+
+/// Transactional-locality class of a workload (last column of Table 1): how likely
+/// the requests outstanding at any instant are to form high-FLP flash transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Requests are scattered; little opportunity to coalesce.
+    Low,
+    /// Some clustering of offsets within bursts.
+    Medium,
+    /// Bursts concentrate on neighbouring offsets, exposing many same-chip,
+    /// different-die/plane pairs.
+    High,
+}
+
+impl Locality {
+    /// Probability that the next request in a burst continues the current cluster.
+    fn cluster_probability(self) -> f64 {
+        match self {
+            Locality::Low => 0.10,
+            Locality::Medium => 0.45,
+            Locality::High => 0.80,
+        }
+    }
+
+    /// Short label used by Table 1 reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Locality::Low => "Low",
+            Locality::Medium => "Medium",
+            Locality::High => "High",
+        }
+    }
+}
+
+/// Parameters of a synthetic workload.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_workloads::{SyntheticSpec, Locality};
+///
+/// let spec = SyntheticSpec::new("demo")
+///     .with_read_fraction(0.8)
+///     .with_mean_sizes_kb(16.0, 8.0)
+///     .with_randomness(0.9, 0.8)
+///     .with_locality(Locality::High);
+/// let trace = spec.generate(200, 42);
+/// assert_eq!(trace.len(), 200);
+/// assert_eq!(trace.name(), "demo");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Workload name.
+    pub name: String,
+    /// Fraction of requests that are reads (by count).
+    pub read_fraction: f64,
+    /// Mean read request size in KB.
+    pub read_mean_kb: f64,
+    /// Mean write request size in KB.
+    pub write_mean_kb: f64,
+    /// Fraction of reads whose offset is random (vs. sequential to the previous
+    /// read).
+    pub read_randomness: f64,
+    /// Fraction of writes whose offset is random.
+    pub write_randomness: f64,
+    /// Transactional-locality class.
+    pub locality: Locality,
+    /// Logical footprint in MB that offsets are drawn from.
+    pub footprint_mb: u64,
+    /// Number of requests issued back-to-back in one burst.
+    pub burst_size: u32,
+    /// Mean gap between bursts in microseconds.
+    pub mean_burst_gap_us: f64,
+}
+
+impl SyntheticSpec {
+    /// Creates a specification with neutral defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        SyntheticSpec {
+            name: name.into(),
+            read_fraction: 0.7,
+            read_mean_kb: 16.0,
+            write_mean_kb: 16.0,
+            read_randomness: 0.9,
+            write_randomness: 0.9,
+            locality: Locality::Medium,
+            footprint_mb: 1024,
+            burst_size: 8,
+            mean_burst_gap_us: 200.0,
+        }
+    }
+
+    /// Sets the read fraction (by request count).
+    pub fn with_read_fraction(mut self, fraction: f64) -> Self {
+        self.read_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets mean read and write request sizes in KB.
+    pub fn with_mean_sizes_kb(mut self, read_kb: f64, write_kb: f64) -> Self {
+        self.read_mean_kb = read_kb.max(0.5);
+        self.write_mean_kb = write_kb.max(0.5);
+        self
+    }
+
+    /// Sets read and write randomness (fraction of non-sequential offsets).
+    pub fn with_randomness(mut self, read: f64, write: f64) -> Self {
+        self.read_randomness = read.clamp(0.0, 1.0);
+        self.write_randomness = write.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the transactional-locality class.
+    pub fn with_locality(mut self, locality: Locality) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// Sets the logical footprint in MB.
+    pub fn with_footprint_mb(mut self, mb: u64) -> Self {
+        self.footprint_mb = mb.max(1);
+        self
+    }
+
+    /// Sets the burst shape: requests per burst and mean gap between bursts.
+    pub fn with_bursts(mut self, burst_size: u32, mean_gap_us: f64) -> Self {
+        self.burst_size = burst_size.max(1);
+        self.mean_burst_gap_us = mean_gap_us.max(1.0);
+        self
+    }
+
+    /// Generates `count` requests deterministically from `seed`.
+    pub fn generate(&self, count: u64, seed: u64) -> Trace {
+        let mut rng = DeterministicRng::seeded(seed ^ 0x5052_494E_4B4C_4552);
+        let footprint = self.footprint_mb * 1024 * 1024;
+        let mut records = Vec::with_capacity(count as usize);
+        let mut now = SimTime::ZERO;
+        let mut seq_read = rng.uniform_u64(footprint);
+        let mut seq_write = rng.uniform_u64(footprint);
+        let mut cluster_base = rng.uniform_u64(footprint);
+        let cluster_span: u64 = 2 * 1024 * 1024; // 2 MB neighbourhood
+
+        for id in 0..count {
+            if id % self.burst_size as u64 == 0 && id != 0 {
+                let gap = rng.exponential(self.mean_burst_gap_us);
+                now += Duration::from_micros_f64(gap);
+                if rng.bernoulli(0.5) {
+                    cluster_base = rng.uniform_u64(footprint);
+                }
+            }
+            let is_read = rng.bernoulli(self.read_fraction);
+            let (mean_kb, randomness, seq_ptr) = if is_read {
+                (self.read_mean_kb, self.read_randomness, &mut seq_read)
+            } else {
+                (self.write_mean_kb, self.write_randomness, &mut seq_write)
+            };
+            let size_kb = rng.bounded_pareto(mean_kb * 0.25, mean_kb * 6.0, 1.4);
+            let bytes = ((size_kb * 1024.0) as u64).clamp(512, 4 * 1024 * 1024);
+
+            let offset = if rng.bernoulli(self.locality.cluster_probability()) {
+                // Stay within the current cluster neighbourhood.
+                cluster_base.saturating_add(rng.uniform_u64(cluster_span)) % footprint
+            } else if rng.bernoulli(randomness) {
+                rng.uniform_u64(footprint)
+            } else {
+                let o = *seq_ptr;
+                *seq_ptr = (*seq_ptr + bytes) % footprint;
+                o
+            };
+
+            records.push(TraceRecord {
+                id,
+                arrival: now,
+                op: if is_read { TraceOp::Read } else { TraceOp::Write },
+                offset,
+                bytes,
+            });
+        }
+        Trace::new(self.name.clone(), records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::new("det");
+        let a = spec.generate(100, 9);
+        let b = spec.generate(100, 9);
+        assert_eq!(a, b);
+        let c = spec.generate(100, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let spec = SyntheticSpec::new("reads").with_read_fraction(0.8);
+        let trace = spec.generate(2000, 3);
+        let reads = trace.iter().filter(|r| r.op.is_read()).count();
+        let fraction = reads as f64 / trace.len() as f64;
+        assert!((fraction - 0.8).abs() < 0.05, "fraction={fraction}");
+        let all_writes = SyntheticSpec::new("w").with_read_fraction(0.0).generate(100, 1);
+        assert!(all_writes.iter().all(|r| !r.op.is_read()));
+    }
+
+    #[test]
+    fn sizes_scale_with_the_mean() {
+        let small = SyntheticSpec::new("s").with_mean_sizes_kb(4.0, 4.0).generate(1000, 5);
+        let large = SyntheticSpec::new("l").with_mean_sizes_kb(256.0, 256.0).generate(1000, 5);
+        let mean = |t: &Trace| {
+            t.iter().map(|r| r.bytes as f64).sum::<f64>() / t.len() as f64
+        };
+        assert!(mean(&large) > mean(&small) * 8.0);
+    }
+
+    #[test]
+    fn offsets_stay_within_the_footprint() {
+        let spec = SyntheticSpec::new("fp").with_footprint_mb(64);
+        let trace = spec.generate(1000, 11);
+        let bound = 64 * 1024 * 1024;
+        assert!(trace.iter().all(|r| r.offset < bound));
+    }
+
+    #[test]
+    fn lower_randomness_means_more_sequential_offsets() {
+        let spec_seq = SyntheticSpec::new("seq")
+            .with_randomness(0.05, 0.05)
+            .with_locality(Locality::Low);
+        let spec_rand = SyntheticSpec::new("rand")
+            .with_randomness(0.95, 0.95)
+            .with_locality(Locality::Low);
+        let seq_trace = spec_seq.generate(1000, 21);
+        let rand_trace = spec_rand.generate(1000, 21);
+        let sequential_pairs = |t: &Trace| {
+            let mut count = 0;
+            let recs = t.records();
+            for w in recs.windows(2) {
+                if w[1].offset == (w[0].offset + w[0].bytes) % (1024 * 1024 * 1024) {
+                    count += 1;
+                }
+            }
+            count
+        };
+        assert!(sequential_pairs(&seq_trace) > sequential_pairs(&rand_trace));
+    }
+
+    #[test]
+    fn bursts_share_arrival_times() {
+        let spec = SyntheticSpec::new("burst").with_bursts(4, 500.0);
+        let trace = spec.generate(64, 2);
+        let records = trace.records();
+        // Within a burst of 4, arrival times are identical.
+        assert_eq!(records[0].arrival, records[3].arrival);
+        // Across bursts, time advances.
+        assert!(records[4].arrival > records[3].arrival);
+    }
+
+    #[test]
+    fn locality_labels() {
+        assert_eq!(Locality::Low.label(), "Low");
+        assert_eq!(Locality::Medium.label(), "Medium");
+        assert_eq!(Locality::High.label(), "High");
+    }
+}

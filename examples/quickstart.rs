@@ -1,0 +1,54 @@
+//! Quickstart: simulate one workload on a 64-chip SSD under every scheduler the
+//! paper evaluates and print a side-by-side summary.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use sprinkler::core::SchedulerKind;
+use sprinkler::experiments::to_host_requests;
+use sprinkler::ssd::{Ssd, SsdConfig};
+use sprinkler::workloads::{Locality, SyntheticSpec};
+
+fn main() {
+    // A bursty, read-mostly workload with medium transactional locality.
+    let spec = SyntheticSpec::new("quickstart")
+        .with_read_fraction(0.7)
+        .with_mean_sizes_kb(24.0, 16.0)
+        .with_randomness(0.9, 0.85)
+        .with_locality(Locality::Medium)
+        .with_bursts(8, 150.0);
+    let trace = spec.generate(1000, 42);
+
+    // The paper's baseline platform: 64 chips over 8 ONFI 2.x channels, 2 dies ×
+    // 4 planes per chip, 2 KB pages.  Blocks per plane are scaled down so the run
+    // finishes in a blink.
+    let config = SsdConfig::paper_default().with_blocks_per_plane(64);
+    let requests = to_host_requests(&trace, config.page_size());
+
+    println!("workload: {} ({} I/O requests)", trace.name(), trace.len());
+    println!(
+        "platform: {} chips, {} channels, queue depth {}",
+        config.geometry.total_chips(),
+        config.geometry.channels,
+        config.queue_depth
+    );
+    println!();
+    println!(
+        "{:<6} {:>14} {:>10} {:>14} {:>12} {:>12}",
+        "sched", "KB/s", "IOPS", "avg lat (us)", "chip util", "txn count"
+    );
+    for kind in SchedulerKind::ALL {
+        let ssd = Ssd::new(config.clone(), kind.build()).expect("valid configuration");
+        let metrics = ssd.run(requests.clone());
+        println!(
+            "{:<6} {:>14.0} {:>10.0} {:>14.1} {:>11.1}% {:>12}",
+            kind.label(),
+            metrics.bandwidth_kb_per_sec,
+            metrics.iops,
+            metrics.avg_latency_ns / 1000.0,
+            metrics.chip_utilization * 100.0,
+            metrics.transactions
+        );
+    }
+    println!();
+    println!("SPK3 = Sprinkler (RIOS + FARO); see DESIGN.md for the full system map.");
+}

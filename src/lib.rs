@@ -1,0 +1,40 @@
+//! Sprinkler — a reproduction of *"Sprinkler: Maximizing Resource Utilization in
+//! Many-Chip Solid State Disks"* (Jung & Kandemir, HPCA 2014) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's crates under one roof so examples,
+//! integration tests, and downstream users can depend on a single package:
+//!
+//! * [`sim`] — discrete-event simulation primitives (time, event queue, RNG, stats).
+//! * [`flash`] — the NAND flash microarchitecture model (geometry, ONFI timing,
+//!   commands, transactions, chip state machines).
+//! * [`ssd`] — the many-chip SSD substrate (NVMHC queue, DMA, flash controllers,
+//!   channels, page-level FTL with GC, metrics, and the `IoScheduler` trait).
+//! * [`core`] — the paper's contribution: VAS, PAS, and the Sprinkler schedulers
+//!   (RIOS, FARO, SPK1/2/3).
+//! * [`workloads`] — synthetic Table 1 enterprise traces and microbenchmark sweeps.
+//! * [`experiments`] — one module per table/figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sprinkler::core::SchedulerKind;
+//! use sprinkler::ssd::{Ssd, SsdConfig};
+//! use sprinkler::workloads::SyntheticSpec;
+//! use sprinkler::experiments::to_host_requests;
+//!
+//! let config = SsdConfig::paper_default().with_blocks_per_plane(32);
+//! let trace = SyntheticSpec::new("quickstart").generate(100, 42);
+//! let requests = to_host_requests(&trace, config.page_size());
+//! let ssd = Ssd::new(config, SchedulerKind::Spk3.build()).unwrap();
+//! let metrics = ssd.run(requests);
+//! assert_eq!(metrics.io_count, 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sprinkler_core as core;
+pub use sprinkler_experiments as experiments;
+pub use sprinkler_flash as flash;
+pub use sprinkler_sim as sim;
+pub use sprinkler_ssd as ssd;
+pub use sprinkler_workloads as workloads;

@@ -1,0 +1,131 @@
+//! Property-based tests over the public API: invariants that must hold for any
+//! workload the generators can produce.
+
+use proptest::prelude::*;
+
+use sprinkler::core::SchedulerKind;
+use sprinkler::flash::{FlashGeometry, Lpn};
+use sprinkler::sim::SimTime;
+use sprinkler::ssd::request::{Direction, HostRequest};
+use sprinkler::ssd::{Ssd, SsdConfig};
+use sprinkler::workloads::{Locality, SyntheticSpec};
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Read), Just(Direction::Write)]
+}
+
+fn arb_requests(max: usize) -> impl Strategy<Value = Vec<HostRequest>> {
+    prop::collection::vec(
+        (0u64..2000, arb_direction(), 0u64..512, 1u32..24),
+        1..max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, dir, lpn, pages))| {
+                HostRequest::new(i as u64, SimTime::from_micros(at), dir, Lpn::new(lpn), pages)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every admitted I/O completes, whatever the arrival pattern, under every
+    /// scheduler.
+    #[test]
+    fn no_io_is_ever_lost(requests in arb_requests(40), scheduler_index in 0usize..5) {
+        let kind = SchedulerKind::ALL[scheduler_index];
+        let expected = requests.len() as u64;
+        let config = SsdConfig::small_test();
+        let ssd = Ssd::new(config, kind.build()).unwrap();
+        let metrics = ssd.run(requests);
+        prop_assert_eq!(metrics.io_count, expected);
+        prop_assert!(metrics.avg_latency_ns > 0.0);
+    }
+
+    /// Byte accounting matches the requested transfer sizes exactly.
+    #[test]
+    fn byte_accounting_is_exact(requests in arb_requests(30)) {
+        let config = SsdConfig::small_test();
+        let page = config.page_size() as u64;
+        let expected_read: u64 = requests.iter()
+            .filter(|r| r.direction.is_read())
+            .map(|r| r.pages as u64 * page)
+            .sum();
+        let expected_written: u64 = requests.iter()
+            .filter(|r| r.direction.is_write())
+            .map(|r| r.pages as u64 * page)
+            .sum();
+        let ssd = Ssd::new(config, SchedulerKind::Spk3.build()).unwrap();
+        let metrics = ssd.run(requests);
+        prop_assert_eq!(metrics.bytes_read, expected_read);
+        prop_assert_eq!(metrics.bytes_written, expected_written);
+    }
+
+    /// Metric fractions stay within their mathematical bounds.
+    #[test]
+    fn metric_fractions_are_bounded(requests in arb_requests(30), scheduler_index in 0usize..5) {
+        let kind = SchedulerKind::ALL[scheduler_index];
+        let ssd = Ssd::new(SsdConfig::small_test(), kind.build()).unwrap();
+        let m = ssd.run(requests);
+        prop_assert!((0.0..=1.0).contains(&m.chip_utilization));
+        prop_assert!((0.0..=1.0).contains(&m.inter_chip_idleness));
+        prop_assert!((0.0..=1.0).contains(&m.intra_chip_idleness));
+        let flp_sum: f64 = m.flp.as_array().iter().sum();
+        prop_assert!(flp_sum == 0.0 || (flp_sum - 1.0).abs() < 1e-9);
+        let exec = m.execution;
+        let exec_sum = exec.bus_operation + exec.bus_contention + exec.memory_operation + exec.idle;
+        prop_assert!(exec_sum <= 1.0 + 1e-6);
+        prop_assert!(m.memory_requests >= m.transactions);
+    }
+
+    /// Physical page addressing round-trips through the flat PPN encoding for any
+    /// geometry shape.
+    #[test]
+    fn ppn_round_trip_holds_for_any_geometry(
+        channels in 1usize..6,
+        ways in 1usize..6,
+        dies in 1usize..4,
+        planes in 1usize..4,
+        blocks in 1usize..12,
+        pages in 1usize..16,
+        sample in 0u64..10_000,
+    ) {
+        let geometry = FlashGeometry {
+            channels,
+            chips_per_channel: ways,
+            dies_per_chip: dies,
+            planes_per_die: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: pages,
+            page_size: 2048,
+        };
+        let total = geometry.total_pages() as u64;
+        let ppn = sprinkler::flash::Ppn::new(sample % total);
+        let addr = geometry.addr_of(ppn);
+        prop_assert!(geometry.check_addr(addr).is_ok());
+        prop_assert_eq!(geometry.ppn_of(addr), ppn);
+    }
+
+    /// Synthetic traces always respect their configured footprint and sizes.
+    #[test]
+    fn synthetic_traces_respect_their_spec(
+        read_fraction in 0.0f64..1.0,
+        footprint_mb in 16u64..256,
+        seed in 0u64..1000,
+    ) {
+        let spec = SyntheticSpec::new("prop")
+            .with_read_fraction(read_fraction)
+            .with_footprint_mb(footprint_mb)
+            .with_locality(Locality::Medium);
+        let trace = spec.generate(200, seed);
+        prop_assert_eq!(trace.len(), 200);
+        for record in trace.iter() {
+            prop_assert!(record.offset < footprint_mb * 1024 * 1024);
+            prop_assert!(record.bytes >= 512);
+        }
+    }
+}
