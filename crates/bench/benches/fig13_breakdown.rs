@@ -8,8 +8,14 @@ use sprinkler_experiments::{fig10, fig13};
 
 fn regenerate() {
     let comparison = fig10::run(&bench_scale(), None);
-    println!("{}", fig13::breakdown_table(&comparison, SchedulerKind::Pas));
-    println!("{}", fig13::breakdown_table(&comparison, SchedulerKind::Spk3));
+    println!(
+        "{}",
+        fig13::breakdown_table(&comparison, SchedulerKind::Pas)
+    );
+    println!(
+        "{}",
+        fig13::breakdown_table(&comparison, SchedulerKind::Spk3)
+    );
     println!(
         "mean system idle: PAS {:.1}%, SPK3 {:.1}% (paper: SPK3 removes ~40% of PAS idleness)",
         fig13::mean_idle(&comparison, SchedulerKind::Pas) * 100.0,

@@ -1,0 +1,18 @@
+//! Microbenchmark of the bare scheduler hot path: one `representative_run` per
+//! scheduler kind, so per-scheduler overhead (not just SPK3's) is tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::representative_run;
+use sprinkler_core::SchedulerKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_micro");
+    group.sample_size(10);
+    for kind in SchedulerKind::ALL {
+        group.bench_function(kind.label(), |b| b.iter(|| representative_run(kind)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

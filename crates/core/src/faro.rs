@@ -101,11 +101,8 @@ impl FaroSelector {
             tags.dedup();
             let mut best: Option<(usize, usize, usize, TagId)> = None;
             for tag in tags {
-                let members: Vec<FaroCandidate> = remaining
-                    .iter()
-                    .copied()
-                    .filter(|c| c.tag == tag)
-                    .collect();
+                let members: Vec<FaroCandidate> =
+                    remaining.iter().copied().filter(|c| c.tag == tag).collect();
                 let mut added_pairs: Vec<(u32, u32)> = members
                     .iter()
                     .map(|c| (c.die, c.plane))
@@ -184,7 +181,11 @@ mod tests {
 
     #[test]
     fn connectivity_counts_same_tag_members() {
-        let cs = vec![cand(1, 0, 0, 0, 0), cand(1, 1, 0, 1, 0), cand(2, 0, 1, 0, 1)];
+        let cs = vec![
+            cand(1, 0, 0, 0, 0),
+            cand(1, 1, 0, 1, 0),
+            cand(2, 0, 1, 0, 1),
+        ];
         assert_eq!(FaroSelector::connectivity(&cs, TagId(1)), 2);
         assert_eq!(FaroSelector::connectivity(&cs, TagId(2)), 1);
         assert_eq!(FaroSelector::connectivity(&cs, TagId(9)), 0);
@@ -232,7 +233,9 @@ mod tests {
         let cs: Vec<FaroCandidate> = (0..20)
             .map(|i| cand(i as u64, 0, (i % 2) as u32, (i % 4) as u32, i))
             .collect();
-        let selector = FaroSelector::new(FaroConfig { overcommit_depth: 4 });
+        let selector = FaroSelector::new(FaroConfig {
+            overcommit_depth: 4,
+        });
         assert_eq!(selector.overcommit_depth(), 4);
         assert_eq!(selector.select(&cs, 100).len(), 4);
         assert_eq!(selector.select(&cs, 2).len(), 2);

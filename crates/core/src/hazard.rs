@@ -136,8 +136,14 @@ mod tests {
             assert_eq!(filter.horizon(ctx), 2);
         });
         // Once the FUA tag is fully committed the horizon opens up.
-        queue.tag_mut(TagId(1)).unwrap().mark_committed(0, SimTime::ZERO);
-        queue.tag_mut(TagId(1)).unwrap().mark_committed(1, SimTime::ZERO);
+        queue
+            .tag_mut(TagId(1))
+            .unwrap()
+            .mark_committed(0, SimTime::ZERO);
+        queue
+            .tag_mut(TagId(1))
+            .unwrap()
+            .mark_committed(1, SimTime::ZERO);
         with_ctx(&queue, |ctx| {
             assert_eq!(filter.horizon(ctx), 3);
         });
@@ -153,7 +159,10 @@ mod tests {
             assert!(filter.write_after_read_blocked(ctx, TagId(1), 102));
             assert!(!filter.write_after_read_blocked(ctx, TagId(1), 105));
         });
-        queue.tag_mut(TagId(0)).unwrap().mark_committed(2, SimTime::ZERO);
+        queue
+            .tag_mut(TagId(0))
+            .unwrap()
+            .mark_committed(2, SimTime::ZERO);
         with_ctx(&queue, |ctx| {
             assert!(!filter.write_after_read_blocked(ctx, TagId(1), 102));
         });

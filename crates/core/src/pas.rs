@@ -76,7 +76,13 @@ mod tests {
     use sprinkler_ssd::ChipOccupancy;
 
     fn admit_with_chips(queue: &mut DeviceQueue, id: u64, dir: Direction, chips: &[usize]) {
-        let host = HostRequest::new(id, SimTime::ZERO, dir, Lpn::new(id * 100), chips.len() as u32);
+        let host = HostRequest::new(
+            id,
+            SimTime::ZERO,
+            dir,
+            Lpn::new(id * 100),
+            chips.len() as u32,
+        );
         let placements = chips
             .iter()
             .map(|&chip| Placement {
@@ -152,8 +158,20 @@ mod tests {
             read,
             SimTime::ZERO,
             vec![
-                Placement { chip: 0, channel: 0, way: 0, die: 0, plane: 0 },
-                Placement { chip: 1, channel: 0, way: 1, die: 0, plane: 0 },
+                Placement {
+                    chip: 0,
+                    channel: 0,
+                    way: 0,
+                    die: 0,
+                    plane: 0,
+                },
+                Placement {
+                    chip: 1,
+                    channel: 0,
+                    way: 1,
+                    die: 0,
+                    plane: 0,
+                },
             ],
         );
         let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(1), 1);
@@ -161,7 +179,13 @@ mod tests {
             TagId(1),
             write,
             SimTime::ZERO,
-            vec![Placement { chip: 2, channel: 1, way: 0, die: 0, plane: 0 }],
+            vec![Placement {
+                chip: 2,
+                channel: 1,
+                way: 0,
+                die: 0,
+                plane: 0,
+            }],
         );
         let out = schedule(&queue, &[0, 0, 0, 0]);
         // The write to LPN 1 must wait for the read of LPN 1 to commit first.
@@ -172,12 +196,19 @@ mod tests {
     fn fua_acts_as_a_reordering_barrier() {
         let mut queue = DeviceQueue::new(8);
         admit_with_chips(&mut queue, 0, Direction::Read, &[0]);
-        let fua = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(50), 1).with_fua(true);
+        let fua =
+            HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(50), 1).with_fua(true);
         queue.admit(
             TagId(1),
             fua,
             SimTime::ZERO,
-            vec![Placement { chip: 0, channel: 0, way: 0, die: 0, plane: 0 }],
+            vec![Placement {
+                chip: 0,
+                channel: 0,
+                way: 0,
+                die: 0,
+                plane: 0,
+            }],
         );
         admit_with_chips(&mut queue, 2, Direction::Read, &[3]);
         let out = schedule(&queue, &[0, 0, 0, 0]);

@@ -179,10 +179,7 @@ impl SprinklerScheduler {
                 }
             } else {
                 // No over-commitment: take the oldest candidate only.
-                if let Some(best) = candidates
-                    .iter()
-                    .min_by_key(|c| (c.arrival_rank, c.page))
-                {
+                if let Some(best) = candidates.iter().min_by_key(|c| (c.arrival_rank, c.page)) {
                     out.push(Commitment {
                         tag: best.tag,
                         page: best.page,
@@ -237,12 +234,7 @@ mod tests {
     use sprinkler_ssd::request::{Direction, HostRequest, Placement};
     use sprinkler_ssd::ChipOccupancy;
 
-    fn admit(
-        queue: &mut DeviceQueue,
-        id: u64,
-        dir: Direction,
-        placements: Vec<(usize, u32, u32)>,
-    ) {
+    fn admit(queue: &mut DeviceQueue, id: u64, dir: Direction, placements: Vec<(usize, u32, u32)>) {
         let host = HostRequest::new(
             id,
             SimTime::ZERO,
@@ -364,7 +356,11 @@ mod tests {
         admit(&mut queue, 1, Direction::Read, vec![(1, 0, 0)]);
         let mut spk1 = SprinklerScheduler::spk1();
         let out = run_scheduler(&mut spk1, &queue, &[0, 0, 0, 0]);
-        assert_eq!(out.len(), 3, "FARO depth allows both chip-0 requests plus tag 1");
+        assert_eq!(
+            out.len(),
+            3,
+            "FARO depth allows both chip-0 requests plus tag 1"
+        );
 
         // With chip 0 saturated to the FARO depth, SPK1 stalls at the head:
         let depth = SprinklerScheduler::spk1().faro.overcommit_depth();
@@ -381,7 +377,9 @@ mod tests {
         let mut spk3 = SprinklerScheduler::with_components(
             true,
             true,
-            FaroConfig { overcommit_depth: 2 },
+            FaroConfig {
+                overcommit_depth: 2,
+            },
         );
         let out = run_scheduler(&mut spk3, &queue, &[0, 0, 0, 0]);
         assert_eq!(out.len(), 2);
@@ -413,8 +411,20 @@ mod tests {
             read,
             SimTime::ZERO,
             vec![
-                Placement { chip: 0, channel: 0, way: 0, die: 0, plane: 0 },
-                Placement { chip: 1, channel: 0, way: 1, die: 0, plane: 0 },
+                Placement {
+                    chip: 0,
+                    channel: 0,
+                    way: 0,
+                    die: 0,
+                    plane: 0,
+                },
+                Placement {
+                    chip: 1,
+                    channel: 0,
+                    way: 1,
+                    die: 0,
+                    plane: 0,
+                },
             ],
         );
         let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(1), 1);
@@ -422,7 +432,13 @@ mod tests {
             TagId(1),
             write,
             SimTime::ZERO,
-            vec![Placement { chip: 2, channel: 1, way: 0, die: 0, plane: 0 }],
+            vec![Placement {
+                chip: 2,
+                channel: 1,
+                way: 0,
+                die: 0,
+                plane: 0,
+            }],
         );
         let mut spk3 = SprinklerScheduler::spk3();
         let out = run_scheduler(&mut spk3, &queue, &[0, 0, 0, 0]);

@@ -82,10 +82,7 @@ mod tests {
         queue.admit(TagId(id), host, SimTime::ZERO, placements);
     }
 
-    fn schedule(
-        queue: &DeviceQueue,
-        outstanding: &[usize],
-    ) -> Vec<Commitment> {
+    fn schedule(queue: &DeviceQueue, outstanding: &[usize]) -> Vec<Commitment> {
         let geometry = FlashGeometry::small_test();
         let occupancy: Vec<ChipOccupancy> = outstanding
             .iter()
@@ -144,7 +141,10 @@ mod tests {
     fn already_committed_pages_are_skipped() {
         let mut queue = DeviceQueue::new(8);
         admit_with_chips(&mut queue, 0, &[0, 1]);
-        queue.tag_mut(TagId(0)).unwrap().mark_committed(0, SimTime::ZERO);
+        queue
+            .tag_mut(TagId(0))
+            .unwrap()
+            .mark_committed(0, SimTime::ZERO);
         let out = schedule(&queue, &[0, 0, 0, 0]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].page, 1);

@@ -153,7 +153,10 @@ mod tests {
             blocks_per_plane: 16,
         };
         let result = run(&scale);
-        assert_eq!(result.points.len(), CHIP_COUNTS.len() * TRANSFER_SIZES_KB.len());
+        assert_eq!(
+            result.points.len(),
+            CHIP_COUNTS.len() * TRANSFER_SIZES_KB.len()
+        );
         // Small transfers cannot feed thousands of dies: bandwidth stagnates.
         assert!(result.stagnates(4), "4KB bandwidth must stop scaling");
         // Utilization falls monotonically as dies grow for the small transfer.

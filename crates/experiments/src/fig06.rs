@@ -21,11 +21,8 @@ pub struct Fig06Result {
 }
 
 /// The three scenarios of Fig 6, expressed as schedulers.
-pub const SCENARIOS: [SchedulerKind; 3] = [
-    SchedulerKind::Vas,
-    SchedulerKind::Pas,
-    SchedulerKind::Spk3,
-];
+pub const SCENARIOS: [SchedulerKind; 3] =
+    [SchedulerKind::Vas, SchedulerKind::Pas, SchedulerKind::Spk3];
 
 /// Runs the Fig 6 sweep.
 pub fn run(scale: &ExperimentScale, workload_limit: Option<usize>) -> Fig06Result {
@@ -77,9 +74,15 @@ impl Fig06Result {
             ],
         );
         for workload in &self.workloads {
-            let vas = self.utilization(workload, SchedulerKind::Vas).unwrap_or(0.0);
-            let pas = self.utilization(workload, SchedulerKind::Pas).unwrap_or(0.0);
-            let relaxed = self.utilization(workload, SchedulerKind::Spk3).unwrap_or(0.0);
+            let vas = self
+                .utilization(workload, SchedulerKind::Vas)
+                .unwrap_or(0.0);
+            let pas = self
+                .utilization(workload, SchedulerKind::Pas)
+                .unwrap_or(0.0);
+            let relaxed = self
+                .utilization(workload, SchedulerKind::Spk3)
+                .unwrap_or(0.0);
             table.add_row(vec![
                 workload.clone(),
                 fmt_pct(vas),
@@ -107,7 +110,10 @@ mod tests {
         let pas = result.mean_utilization(SchedulerKind::Pas);
         let relaxed = result.mean_utilization(SchedulerKind::Spk3);
         assert!(pas >= vas, "PAS {pas:.3} must not fall below VAS {vas:.3}");
-        assert!(relaxed > vas, "relaxed {relaxed:.3} must exceed VAS {vas:.3}");
+        assert!(
+            relaxed > vas,
+            "relaxed {relaxed:.3} must exceed VAS {vas:.3}"
+        );
         assert_eq!(result.render().row_count(), 3);
     }
 }

@@ -26,7 +26,7 @@ pub fn run(scale: &ExperimentScale, workload_limit: Option<usize>) -> MainCompar
     let traces: Vec<_> = paper_workloads()
         .into_iter()
         .take(limit)
-        .map(|spec| spec.generate(scale.ios_per_workload, 0xF16_10))
+        .map(|spec| spec.generate(scale.ios_per_workload, 0x000F_1610))
         .collect();
     let config = SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane);
     let cells = run_matrix(&config, &SchedulerKind::ALL, &traces);
@@ -52,7 +52,10 @@ impl MainComparison {
         for workload in &self.workloads {
             let mut row = vec![workload.clone()];
             for kind in SchedulerKind::ALL {
-                row.push(self.metrics(workload, kind).map_or_else(String::new, &value));
+                row.push(
+                    self.metrics(workload, kind)
+                        .map_or_else(String::new, &value),
+                );
             }
             table.add_row(row);
         }
@@ -115,8 +118,10 @@ impl MainComparison {
         let mut product = 1.0f64;
         let mut count = 0usize;
         for workload in &self.workloads {
-            let (Some(a), Some(b)) = (self.metrics(workload, kind), self.metrics(workload, baseline))
-            else {
+            let (Some(a), Some(b)) = (
+                self.metrics(workload, kind),
+                self.metrics(workload, baseline),
+            ) else {
                 continue;
             };
             if b.bandwidth_kb_per_sec > 0.0 {
@@ -136,8 +141,10 @@ impl MainComparison {
         let mut sum = 0.0;
         let mut count = 0usize;
         for workload in &self.workloads {
-            let (Some(a), Some(b)) = (self.metrics(workload, kind), self.metrics(workload, baseline))
-            else {
+            let (Some(a), Some(b)) = (
+                self.metrics(workload, kind),
+                self.metrics(workload, baseline),
+            ) else {
                 continue;
             };
             if b.avg_latency_ns > 0.0 {
@@ -176,9 +183,6 @@ mod tests {
         assert_eq!(comparison.iops_table().row_count(), 3);
         assert_eq!(comparison.latency_table().row_count(), 3);
         assert_eq!(comparison.queue_stall_table().row_count(), 3);
-        assert!(comparison
-            .bandwidth_table()
-            .render()
-            .contains("SPK3"));
+        assert!(comparison.bandwidth_table().render().contains("SPK3"));
     }
 }

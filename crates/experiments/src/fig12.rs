@@ -10,11 +10,8 @@ use crate::report::{fmt_f64, Table};
 use crate::runner::{run_one_detailed, ExperimentScale};
 
 /// The schedulers plotted in Fig 12.
-pub const FIG12_SCHEDULERS: [SchedulerKind; 3] = [
-    SchedulerKind::Vas,
-    SchedulerKind::Pas,
-    SchedulerKind::Spk3,
-];
+pub const FIG12_SCHEDULERS: [SchedulerKind; 3] =
+    [SchedulerKind::Vas, SchedulerKind::Pas, SchedulerKind::Spk3];
 
 /// The Fig 12 measurement: per-I/O latency series per scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,16 +26,13 @@ pub struct Fig12Result {
 /// (the paper uses three thousand).
 pub fn run(scale: &ExperimentScale, io_count: u64) -> Fig12Result {
     let spec = workload("msnfs1").expect("msnfs1 is part of Table 1");
-    let trace = spec.generate(io_count.max(1), 0xF12).truncated(io_count as usize);
+    let trace = spec
+        .generate(io_count.max(1), 0xF12)
+        .truncated(io_count as usize);
     let config = SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane);
     let runs = FIG12_SCHEDULERS
         .iter()
-        .map(|&kind| {
-            (
-                kind,
-                run_one_detailed(&config, kind, &trace, true, None),
-            )
-        })
+        .map(|&kind| (kind, run_one_detailed(&config, kind, &trace, true, None)))
         .collect();
     Fig12Result { runs, io_count }
 }

@@ -91,10 +91,7 @@ mod tests {
             spk1 >= pas,
             "SPK1 FLP {spk1:.3} must be at least PAS {pas:.3}"
         );
-        assert!(
-            spk3 > pas,
-            "SPK3 FLP {spk3:.3} must exceed PAS {pas:.3}"
-        );
+        assert!(spk3 > pas, "SPK3 FLP {spk3:.3} must exceed PAS {pas:.3}");
         for kind in FIG14_SCHEDULERS {
             assert_eq!(flp_table(&comparison, kind).row_count(), 3);
         }

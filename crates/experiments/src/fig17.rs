@@ -9,11 +9,8 @@ use crate::report::{fmt_f64, Table};
 use crate::runner::{run_one_detailed, ExperimentScale};
 
 /// The schedulers Fig 17 plots.
-pub const FIG17_SCHEDULERS: [SchedulerKind; 3] = [
-    SchedulerKind::Vas,
-    SchedulerKind::Pas,
-    SchedulerKind::Spk3,
-];
+pub const FIG17_SCHEDULERS: [SchedulerKind; 3] =
+    [SchedulerKind::Vas, SchedulerKind::Pas, SchedulerKind::Spk3];
 
 /// The chip counts of Fig 17's two panels.
 pub const CHIP_COUNTS: [usize; 2] = [64, 256];
@@ -73,8 +70,7 @@ pub fn run(scale: &ExperimentScale, chip_counts: Option<&[usize]>) -> Fig17Resul
             for &scheduler in &FIG17_SCHEDULERS {
                 for fragmented in [false, true] {
                     let precondition = fragmented.then_some(FRAGMENTED_FILL);
-                    let metrics =
-                        run_one_detailed(&base, scheduler, &trace, false, precondition);
+                    let metrics = run_one_detailed(&base, scheduler, &trace, false, precondition);
                     points.push(Fig17Point {
                         chips,
                         transfer_kb,
@@ -178,7 +174,10 @@ mod tests {
             blocks_per_plane: 8,
         };
         let result = run(&scale, Some(&[64]));
-        assert!(result.gc_invocations(64) > 0, "fragmented runs must trigger GC");
+        assert!(
+            result.gc_invocations(64) > 0,
+            "fragmented runs must trigger GC"
+        );
         let spk3 = result.mean_bandwidth(64, SchedulerKind::Spk3, false);
         let spk3_gc = result.mean_bandwidth(64, SchedulerKind::Spk3, true);
         let vas_gc = result.mean_bandwidth(64, SchedulerKind::Vas, true);

@@ -135,12 +135,12 @@ pub fn run_matrix(
     traces: &[Trace],
 ) -> Vec<MatrixCell> {
     let mut cells: Vec<MatrixCell> = Vec::with_capacity(schedulers.len() * traces.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for trace in traces {
             for &kind in schedulers {
                 let config = config.clone();
-                handles.push(scope.spawn(move |_| MatrixCell {
+                handles.push(scope.spawn(move || MatrixCell {
                     workload: trace.name().to_string(),
                     scheduler: kind,
                     metrics: run_one(&config, kind, trace),
@@ -150,8 +150,7 @@ pub fn run_matrix(
         for handle in handles {
             cells.push(handle.join().expect("experiment thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     // Deterministic ordering: by workload then by scheduler order in the request.
     cells.sort_by_key(|cell| {
         let w = traces
@@ -185,7 +184,9 @@ mod tests {
 
     #[test]
     fn host_request_conversion_preserves_counts_and_direction() {
-        let trace = SyntheticSpec::new("conv").with_read_fraction(1.0).generate(50, 3);
+        let trace = SyntheticSpec::new("conv")
+            .with_read_fraction(1.0)
+            .generate(50, 3);
         let requests = to_host_requests(&trace, 2048);
         assert_eq!(requests.len(), 50);
         assert!(requests.iter().all(|r| r.direction.is_read()));
@@ -223,16 +224,19 @@ mod tests {
         let config = SsdConfig::paper_default()
             .with_blocks_per_plane(8)
             .with_gc(sprinkler_ssd::GcConfig::enabled());
-        let trace = SyntheticSpec::new("d").with_read_fraction(0.0).generate(40, 9);
-        let metrics =
-            run_one_detailed(&config, SchedulerKind::Spk3, &trace, true, Some(0.5));
+        let trace = SyntheticSpec::new("d")
+            .with_read_fraction(0.0)
+            .generate(40, 9);
+        let metrics = run_one_detailed(&config, SchedulerKind::Spk3, &trace, true, Some(0.5));
         assert_eq!(metrics.io_count, 40);
         assert_eq!(metrics.latency_series.len(), 40);
     }
 
     #[test]
     fn scales_expose_sane_values() {
-        assert!(ExperimentScale::full().ios_per_workload > ExperimentScale::quick().ios_per_workload);
+        assert!(
+            ExperimentScale::full().ios_per_workload > ExperimentScale::quick().ios_per_workload
+        );
         assert_eq!(ExperimentScale::default(), ExperimentScale::full());
     }
 }

@@ -85,7 +85,10 @@ mod tests {
         let hm1 = report.entries.iter().find(|e| e.name == "hm1").unwrap();
         assert!(hm1.stats.read_fraction() > 0.85, "hm1 is read-dominated");
         let msnfs0 = report.entries.iter().find(|e| e.name == "msnfs0").unwrap();
-        assert!(msnfs0.stats.read_fraction() < 0.15, "msnfs0 is write-dominated");
+        assert!(
+            msnfs0.stats.read_fraction() < 0.15,
+            "msnfs0 is write-dominated"
+        );
         let rendered = report.render().render();
         assert!(rendered.contains("cfs0"));
         assert!(rendered.contains("proj4"));

@@ -16,7 +16,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(lpn.value(), 42);
 /// assert_eq!(lpn.offset(3).value(), 45);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Lpn(u64);
 
 impl Lpn {
@@ -46,7 +48,9 @@ impl fmt::Display for Lpn {
 ///
 /// Use [`crate::FlashGeometry::ppn_of`] / [`crate::FlashGeometry::addr_of`] to
 /// convert between [`Ppn`] and [`PhysicalPageAddr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Ppn(u64);
 
 impl Ppn {
@@ -68,7 +72,9 @@ impl fmt::Display for Ppn {
 }
 
 /// Identifies a flash chip by its channel and its position ("way") on that channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ChipLocation {
     /// Channel index.
     pub channel: u32,
@@ -95,7 +101,9 @@ impl fmt::Display for ChipLocation {
 /// assert_eq!(addr.chip(), g.chip_location(g.chip_index(1, 0)));
 /// assert_eq!(g.addr_of(g.ppn_of(addr)), addr);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysicalPageAddr {
     /// Channel index.
     pub channel: u32,

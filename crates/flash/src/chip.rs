@@ -304,7 +304,9 @@ mod tests {
         let (g, t, _) = setup();
         let mut other = Chip::new(g.chip_location(3), &g);
         let txn = read_txn(&g, &[(0, 0)]);
-        let err = other.begin_transaction(&txn, SimTime::ZERO, &t).unwrap_err();
+        let err = other
+            .begin_transaction(&txn, SimTime::ZERO, &t)
+            .unwrap_err();
         assert!(matches!(err, FlashError::CoalesceConflict { .. }));
     }
 

@@ -310,10 +310,12 @@ mod tests {
         assert_eq!(seq.issue_command_cycles(), 6);
         assert_eq!(seq.issue_address_cycles(), 3 * ADDRESS_CYCLES_PAGE);
         assert_eq!(seq.data_out_bytes(), 3 * 2048);
-        let has_queue_confirm = seq
-            .issue_cycles()
-            .iter()
-            .any(|c| matches!(c, BusCycleKind::Command(FlashCommand::MultiPlaneReadConfirm)));
+        let has_queue_confirm = seq.issue_cycles().iter().any(|c| {
+            matches!(
+                c,
+                BusCycleKind::Command(FlashCommand::MultiPlaneReadConfirm)
+            )
+        });
         assert!(has_queue_confirm);
     }
 

@@ -120,7 +120,7 @@ impl FlashGeometry {
             channels /= 2;
         }
         self.channels = channels;
-        self.chips_per_channel = (chips + channels - 1) / channels;
+        self.chips_per_channel = chips.div_ceil(channels);
         self
     }
 
@@ -241,7 +241,10 @@ impl FlashGeometry {
     /// Panics in debug builds if the address is out of range; use
     /// [`FlashGeometry::check_addr`] to validate first.
     pub fn ppn_of(&self, addr: PhysicalPageAddr) -> Ppn {
-        debug_assert!(self.check_addr(addr).is_ok(), "address out of range: {addr}");
+        debug_assert!(
+            self.check_addr(addr).is_ok(),
+            "address out of range: {addr}"
+        );
         let chip = self.chip_index(addr.channel, addr.way) as u64;
         let within_chip = ((addr.die as u64 * self.planes_per_die as u64 + addr.plane as u64)
             * self.blocks_per_plane as u64

@@ -178,7 +178,7 @@ impl FlashTiming {
         match self.program_model {
             ProgramLatencyModel::Uniform => self.program_fast,
             ProgramLatencyModel::MlcPaired => {
-                if page_offset % 2 == 0 {
+                if page_offset.is_multiple_of(2) {
                     self.program_fast
                 } else {
                     self.program_slow
@@ -284,7 +284,10 @@ mod tests {
         assert_eq!(OnfiMode::Ddr166.transfer_time(0), Duration::ZERO);
         // 2 KB page at 166 MB/s is roughly 12.3 us.
         let t = OnfiMode::Ddr166.transfer_time(2048);
-        assert!(t > Duration::from_micros(11) && t < Duration::from_micros(14), "{t}");
+        assert!(
+            t > Duration::from_micros(11) && t < Duration::from_micros(14),
+            "{t}"
+        );
     }
 
     #[test]

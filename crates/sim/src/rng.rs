@@ -279,6 +279,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
-        assert_ne!(v, (0..64).collect::<Vec<_>>(), "shuffle should usually move things");
+        assert_ne!(
+            v,
+            (0..64).collect::<Vec<_>>(),
+            "shuffle should usually move things"
+        );
     }
 }

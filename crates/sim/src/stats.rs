@@ -637,7 +637,10 @@ mod tests {
         b.mark_idle(SimTime::from_nanos(25)); // no-op
         b.mark_busy(SimTime::from_nanos(30));
         assert_eq!(b.busy_time(), Duration::from_nanos(10));
-        assert_eq!(b.busy_time_at(SimTime::from_nanos(40)), Duration::from_nanos(20));
+        assert_eq!(
+            b.busy_time_at(SimTime::from_nanos(40)),
+            Duration::from_nanos(20)
+        );
         assert_eq!(b.busy_periods(), 2);
     }
 

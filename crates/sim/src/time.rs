@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 20_000);
 /// assert_eq!(t - SimTime::ZERO, Duration::from_nanos(20_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
@@ -36,7 +38,9 @@ pub struct SimTime(u64);
 /// assert_eq!(bus.as_nanos(), 12_300);
 /// assert_eq!(bus * 2, Duration::from_nanos(24_600));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl SimTime {
@@ -309,10 +313,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&n| Duration::from_nanos(n))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_nanos(n)).sum();
         assert_eq!(total.as_nanos(), 6);
     }
 

@@ -11,22 +11,17 @@ use sprinkler_sim::Duration;
 /// stripping), then across the chips of a channel (channel pipelining), then across
 /// dies and planes — the classic C-W-D-P order that maximizes system-level
 /// parallelism for sequential logical addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AllocationPolicy {
     /// Channel → way → die → plane striping (the default, highest SLP for
     /// sequential streams).
+    #[default]
     ChannelWayDiePlane,
     /// Way → channel → die → plane striping (pipelining-first).
     WayChannelDiePlane,
     /// Die → plane → channel → way striping (flash-level-first; exposes poor SLP
     /// and is useful as an ablation).
     DiePlaneChannelWay,
-}
-
-impl Default for AllocationPolicy {
-    fn default() -> Self {
-        AllocationPolicy::ChannelWayDiePlane
-    }
 }
 
 /// Garbage collection configuration.

@@ -9,7 +9,9 @@
 //! transaction — this is exactly the mechanism FARO exploits.
 
 use serde::{Deserialize, Serialize};
-use sprinkler_flash::{FlashGeometry, FlashOp, FlashTransaction, PhysicalPageAddr, TransactionBuilder};
+use sprinkler_flash::{
+    FlashGeometry, FlashOp, FlashTransaction, PhysicalPageAddr, TransactionBuilder,
+};
 use sprinkler_sim::{Duration, SimTime};
 
 use crate::request::{MemReqId, TagId};
@@ -144,7 +146,14 @@ impl FlashController {
         // Candidates of the same op, ordered GC-first then oldest-first, seed
         // guaranteed to be first.
         let mut order: Vec<usize> = (0..queue.len()).filter(|&i| queue[i].op == op).collect();
-        order.sort_by_key(|&i| (i != seed_index, !queue[i].gc, queue[i].delivered_at, queue[i].id));
+        order.sort_by_key(|&i| {
+            (
+                i != seed_index,
+                !queue[i].gc,
+                queue[i].delivered_at,
+                queue[i].id,
+            )
+        });
 
         for i in order {
             if builder.try_add(queue[i].addr).is_ok() {

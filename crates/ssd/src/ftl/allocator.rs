@@ -329,7 +329,10 @@ mod tests {
     use super::*;
 
     fn alloc() -> Allocator {
-        Allocator::new(FlashGeometry::small_test(), AllocationPolicy::ChannelWayDiePlane)
+        Allocator::new(
+            FlashGeometry::small_test(),
+            AllocationPolicy::ChannelWayDiePlane,
+        )
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl PageMap {
 
     /// Iterates over all (lpn, ppn) pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Lpn, Ppn)> + '_ {
-        self.l2p
-            .iter()
-            .map(|(&l, &p)| (Lpn::new(l), Ppn::new(p)))
+        self.l2p.iter().map(|(&l, &p)| (Lpn::new(l), Ppn::new(p)))
     }
 }
 

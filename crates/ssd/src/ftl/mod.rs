@@ -128,9 +128,7 @@ impl Ftl {
         }
         let loc = self.alloc.static_placement(lpn);
         Placement {
-            chip: self
-                .geometry
-                .chip_index(loc.channel, loc.way),
+            chip: self.geometry.chip_index(loc.channel, loc.way),
             channel: loc.channel,
             way: loc.way,
             die: loc.die,
@@ -438,7 +436,11 @@ mod tests {
         // what was written.
         assert!(f.live_pages() > 0);
         assert!(f.live_pages() <= total / 2 + 1);
-        assert_eq!(f.stats().host_writes, 0, "preconditioning is not host traffic");
+        assert_eq!(
+            f.stats().host_writes,
+            0,
+            "preconditioning is not host traffic"
+        );
         assert!(f.mapped_pages() > 0);
     }
 

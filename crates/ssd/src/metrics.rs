@@ -350,7 +350,13 @@ mod tests {
         m.record_io(0, true, 4096, micros(0), micros(100));
         m.record_io(1, false, 2048, micros(10), micros(60));
         assert_eq!(m.completed_ios(), 2);
-        let r = m.finalize(micros(100), &[Duration::from_micros(50)], &[Duration::from_micros(50)], 8, GcStats::default());
+        let r = m.finalize(
+            micros(100),
+            &[Duration::from_micros(50)],
+            &[Duration::from_micros(50)],
+            8,
+            GcStats::default(),
+        );
         assert_eq!(r.io_count, 2);
         assert_eq!(r.read_ios, 1);
         assert_eq!(r.write_ios, 1);

@@ -244,7 +244,13 @@ mod tests {
     use sprinkler_flash::Lpn;
 
     fn host(id: u64, pages: u32) -> HostRequest {
-        HostRequest::new(id, SimTime::ZERO, Direction::Write, Lpn::new(id * 100), pages)
+        HostRequest::new(
+            id,
+            SimTime::ZERO,
+            Direction::Write,
+            Lpn::new(id * 100),
+            pages,
+        )
     }
 
     fn placements(n: usize) -> Vec<Placement> {
@@ -316,7 +322,9 @@ mod tests {
         q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2));
         q.admit(TagId(1), host(1, 5), SimTime::ZERO, placements(5));
         assert_eq!(q.total_uncommitted_pages(), 7);
-        q.tag_mut(TagId(1)).unwrap().mark_committed(0, SimTime::ZERO);
+        q.tag_mut(TagId(1))
+            .unwrap()
+            .mark_committed(0, SimTime::ZERO);
         assert_eq!(q.total_uncommitted_pages(), 6);
     }
 

@@ -42,7 +42,9 @@ impl fmt::Display for Direction {
 }
 
 /// Identifier of a device-queue tag (one admitted host I/O request).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TagId(pub u64);
 
 impl fmt::Display for TagId {
@@ -52,7 +54,9 @@ impl fmt::Display for TagId {
 }
 
 /// Identifier of a page-level memory request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct MemReqId(pub u64);
 
 impl fmt::Display for MemReqId {
@@ -84,7 +88,13 @@ pub struct HostRequest {
 
 impl HostRequest {
     /// Creates a host request.
-    pub fn new(id: u64, arrival: SimTime, direction: Direction, start_lpn: Lpn, pages: u32) -> Self {
+    pub fn new(
+        id: u64,
+        arrival: SimTime,
+        direction: Direction,
+        start_lpn: Lpn,
+        pages: u32,
+    ) -> Self {
         HostRequest {
             id,
             arrival,

@@ -71,7 +71,7 @@ impl<'a> SchedulerContext<'a> {
 
     /// Whether a chip is currently executing a transaction.
     pub fn chip_busy(&self, chip: usize) -> bool {
-        self.occupancy.get(chip).map_or(false, |o| o.busy)
+        self.occupancy.get(chip).is_some_and(|o| o.busy)
     }
 
     /// Remaining commit capacity for a chip under the hard cap.

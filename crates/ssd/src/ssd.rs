@@ -60,9 +60,17 @@ struct LiveTransaction {
 /// The role a memory request plays in a garbage-collection job.
 #[derive(Debug, Clone, Copy)]
 enum GcRole {
-    Read { job: usize, lpn: Lpn, to: PhysicalPageAddr },
-    Program { job: usize },
-    Erase { job: usize },
+    Read {
+        job: usize,
+        lpn: Lpn,
+        to: PhysicalPageAddr,
+    },
+    Program {
+        job: usize,
+    },
+    Erase {
+        job: usize,
+    },
 }
 
 /// One in-flight garbage-collection invocation.
@@ -221,7 +229,8 @@ impl Ssd {
         let mut arrivals: Vec<HostRequest> = trace.into_iter().collect();
         arrivals.sort_by_key(|r| (r.arrival, r.id));
         for request in arrivals {
-            self.events.schedule(request.arrival, SsdEvent::Arrival(request));
+            self.events
+                .schedule(request.arrival, SsdEvent::Arrival(request));
         }
         while let Some((now, event)) = self.events.pop() {
             self.handle_event(now, event);
@@ -233,7 +242,8 @@ impl Ssd {
         let end = self.events.now();
         let chip_busy: Vec<Duration> = self.chips.iter().map(|c| c.stats().busy).collect();
         let plane_busy: Vec<Duration> = self.chips.iter().map(|c| c.stats().plane_busy).collect();
-        let planes_per_chip = self.config.geometry.dies_per_chip * self.config.geometry.planes_per_die;
+        let planes_per_chip =
+            self.config.geometry.dies_per_chip * self.config.geometry.planes_per_die;
         self.metrics.finalize(
             end,
             &chip_busy,
@@ -465,8 +475,8 @@ impl Ssd {
         let location = self.config.geometry.chip_location(chip_index);
         let channel_index = location.channel as usize;
         let way = location.way as usize;
-        let Some(built) = self.controllers[channel_index]
-            .build_transaction(way, &self.config.geometry)
+        let Some(built) =
+            self.controllers[channel_index].build_transaction(way, &self.config.geometry)
         else {
             return;
         };
@@ -498,7 +508,8 @@ impl Ssd {
                 completion_bus: phase.completion_bus,
             },
         );
-        self.events.schedule(phase.cell_end, SsdEvent::CellDone(txn_id));
+        self.events
+            .schedule(phase.cell_end, SsdEvent::CellDone(txn_id));
     }
 
     fn handle_cell_done(&mut self, txn_id: u64, now: SimTime) {
@@ -512,7 +523,8 @@ impl Ssd {
         if let Some(live) = self.live_txns.get_mut(&txn_id) {
             live.contention += grant.waited;
         }
-        self.events.schedule(grant.end, SsdEvent::TxnComplete(txn_id));
+        self.events
+            .schedule(grant.end, SsdEvent::TxnComplete(txn_id));
     }
 
     fn handle_txn_complete(&mut self, txn_id: u64, now: SimTime) {
@@ -627,8 +639,7 @@ impl Ssd {
                 migration.from,
                 self.config.geometry.chips_per_channel,
             );
-            let request =
-                MemoryRequest::new_gc(id, migration.lpn, Direction::Read, placement, now);
+            let request = MemoryRequest::new_gc(id, migration.lpn, Direction::Read, placement, now);
             self.mem_requests.insert(id, request);
             self.gc_roles.insert(
                 id,
@@ -786,7 +797,11 @@ mod tests {
         assert_eq!(metrics.read_ios, 1);
         assert_eq!(metrics.bytes_read, 2048);
         // Latency must cover at least the read cell time (20us) plus transfers.
-        assert!(metrics.avg_latency_ns > 20_000.0, "{}", metrics.avg_latency_ns);
+        assert!(
+            metrics.avg_latency_ns > 20_000.0,
+            "{}",
+            metrics.avg_latency_ns
+        );
         assert!(metrics.avg_latency_ns < 1_000_000.0);
         assert_eq!(metrics.transactions, 1);
         assert_eq!(metrics.memory_requests, 1);
@@ -862,8 +877,7 @@ mod tests {
     #[test]
     fn latency_series_is_recorded_when_enabled() {
         let config = SsdConfig::small_test();
-        let ssd =
-            Ssd::with_series(config, Box::new(CommitAllScheduler::new()), true).unwrap();
+        let ssd = Ssd::with_series(config, Box::new(CommitAllScheduler::new()), true).unwrap();
         let metrics = ssd.run((0..5).map(|i| read_req(i, i * 100, i * 4, 1)));
         assert_eq!(metrics.latency_series.len(), 5);
         assert!(metrics.latency_series.iter().all(|&(_, l)| l > 0));

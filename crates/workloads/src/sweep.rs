@@ -84,7 +84,11 @@ impl SweepSpec {
             records.push(TraceRecord {
                 id,
                 arrival: now,
-                op: if is_read { TraceOp::Read } else { TraceOp::Write },
+                op: if is_read {
+                    TraceOp::Read
+                } else {
+                    TraceOp::Write
+                },
                 offset,
                 bytes,
             });

@@ -177,7 +177,11 @@ impl SyntheticSpec {
             records.push(TraceRecord {
                 id,
                 arrival: now,
-                op: if is_read { TraceOp::Read } else { TraceOp::Write },
+                op: if is_read {
+                    TraceOp::Read
+                } else {
+                    TraceOp::Write
+                },
                 offset,
                 bytes,
             });
@@ -207,17 +211,21 @@ mod tests {
         let reads = trace.iter().filter(|r| r.op.is_read()).count();
         let fraction = reads as f64 / trace.len() as f64;
         assert!((fraction - 0.8).abs() < 0.05, "fraction={fraction}");
-        let all_writes = SyntheticSpec::new("w").with_read_fraction(0.0).generate(100, 1);
+        let all_writes = SyntheticSpec::new("w")
+            .with_read_fraction(0.0)
+            .generate(100, 1);
         assert!(all_writes.iter().all(|r| !r.op.is_read()));
     }
 
     #[test]
     fn sizes_scale_with_the_mean() {
-        let small = SyntheticSpec::new("s").with_mean_sizes_kb(4.0, 4.0).generate(1000, 5);
-        let large = SyntheticSpec::new("l").with_mean_sizes_kb(256.0, 256.0).generate(1000, 5);
-        let mean = |t: &Trace| {
-            t.iter().map(|r| r.bytes as f64).sum::<f64>() / t.len() as f64
-        };
+        let small = SyntheticSpec::new("s")
+            .with_mean_sizes_kb(4.0, 4.0)
+            .generate(1000, 5);
+        let large = SyntheticSpec::new("l")
+            .with_mean_sizes_kb(256.0, 256.0)
+            .generate(1000, 5);
+        let mean = |t: &Trace| t.iter().map(|r| r.bytes as f64).sum::<f64>() / t.len() as f64;
         assert!(mean(&large) > mean(&small) * 8.0);
     }
 

@@ -32,22 +32,166 @@ pub struct Table1Row {
 
 /// The published Table 1 statistics.
 pub const TABLE1: [Table1Row; 16] = [
-    Table1Row { name: "cfs0", read_mb: 3607.0, write_mb: 1692.0, read_kops: 406.0, write_kops: 135.0, read_randomness: 92.79, write_randomness: 86.59, locality: Locality::Low },
-    Table1Row { name: "cfs1", read_mb: 2955.0, write_mb: 1773.0, read_kops: 385.0, write_kops: 130.0, read_randomness: 94.01, write_randomness: 86.12, locality: Locality::Medium },
-    Table1Row { name: "cfs2", read_mb: 2904.0, write_mb: 1845.0, read_kops: 384.0, write_kops: 135.0, read_randomness: 94.28, write_randomness: 85.95, locality: Locality::Low },
-    Table1Row { name: "cfs3", read_mb: 3143.0, write_mb: 1649.0, read_kops: 387.0, write_kops: 132.0, read_randomness: 93.97, write_randomness: 86.70, locality: Locality::High },
-    Table1Row { name: "cfs4", read_mb: 3600.0, write_mb: 1660.0, read_kops: 401.0, write_kops: 132.0, read_randomness: 92.60, write_randomness: 86.59, locality: Locality::High },
-    Table1Row { name: "hm0", read_mb: 10445.0, write_mb: 21471.0, read_kops: 1417.0, write_kops: 2575.0, read_randomness: 94.20, write_randomness: 92.84, locality: Locality::Medium },
-    Table1Row { name: "hm1", read_mb: 8670.0, write_mb: 567.0, read_kops: 580.0, write_kops: 28.0, read_randomness: 98.29, write_randomness: 98.59, locality: Locality::Medium },
-    Table1Row { name: "msnfs0", read_mb: 1971.0, write_mb: 30519.0, read_kops: 41.0, write_kops: 1467.0, read_randomness: 99.79, write_randomness: 87.23, locality: Locality::Low },
-    Table1Row { name: "msnfs1", read_mb: 17661.0, write_mb: 17722.0, read_kops: 121.0, write_kops: 2100.0, read_randomness: 88.80, write_randomness: 66.71, locality: Locality::Low },
-    Table1Row { name: "msnfs2", read_mb: 92772.0, write_mb: 24835.0, read_kops: 9624.0, write_kops: 3003.0, read_randomness: 98.13, write_randomness: 99.97, locality: Locality::High },
-    Table1Row { name: "msnfs3", read_mb: 5.0, write_mb: 2387.0, read_kops: 1.0, write_kops: 5.0, read_randomness: 22.52, write_randomness: 64.79, locality: Locality::High },
-    Table1Row { name: "proj0", read_mb: 9407.0, write_mb: 151274.0, read_kops: 527.0, write_kops: 3697.0, read_randomness: 92.05, write_randomness: 79.31, locality: Locality::Medium },
-    Table1Row { name: "proj1", read_mb: 786810.0, write_mb: 2496.0, read_kops: 21142.0, write_kops: 2496.0, read_randomness: 82.34, write_randomness: 96.88, locality: Locality::Medium },
-    Table1Row { name: "proj2", read_mb: 1065308.0, write_mb: 176879.0, read_kops: 25641.0, write_kops: 3624.0, read_randomness: 78.74, write_randomness: 93.93, locality: Locality::Low },
-    Table1Row { name: "proj3", read_mb: 19123.0, write_mb: 2754.0, read_kops: 2128.0, write_kops: 116.0, read_randomness: 75.01, write_randomness: 88.37, locality: Locality::Medium },
-    Table1Row { name: "proj4", read_mb: 150604.0, write_mb: 1058.0, read_kops: 6369.0, write_kops: 95.0, read_randomness: 84.39, write_randomness: 95.52, locality: Locality::Medium },
+    Table1Row {
+        name: "cfs0",
+        read_mb: 3607.0,
+        write_mb: 1692.0,
+        read_kops: 406.0,
+        write_kops: 135.0,
+        read_randomness: 92.79,
+        write_randomness: 86.59,
+        locality: Locality::Low,
+    },
+    Table1Row {
+        name: "cfs1",
+        read_mb: 2955.0,
+        write_mb: 1773.0,
+        read_kops: 385.0,
+        write_kops: 130.0,
+        read_randomness: 94.01,
+        write_randomness: 86.12,
+        locality: Locality::Medium,
+    },
+    Table1Row {
+        name: "cfs2",
+        read_mb: 2904.0,
+        write_mb: 1845.0,
+        read_kops: 384.0,
+        write_kops: 135.0,
+        read_randomness: 94.28,
+        write_randomness: 85.95,
+        locality: Locality::Low,
+    },
+    Table1Row {
+        name: "cfs3",
+        read_mb: 3143.0,
+        write_mb: 1649.0,
+        read_kops: 387.0,
+        write_kops: 132.0,
+        read_randomness: 93.97,
+        write_randomness: 86.70,
+        locality: Locality::High,
+    },
+    Table1Row {
+        name: "cfs4",
+        read_mb: 3600.0,
+        write_mb: 1660.0,
+        read_kops: 401.0,
+        write_kops: 132.0,
+        read_randomness: 92.60,
+        write_randomness: 86.59,
+        locality: Locality::High,
+    },
+    Table1Row {
+        name: "hm0",
+        read_mb: 10445.0,
+        write_mb: 21471.0,
+        read_kops: 1417.0,
+        write_kops: 2575.0,
+        read_randomness: 94.20,
+        write_randomness: 92.84,
+        locality: Locality::Medium,
+    },
+    Table1Row {
+        name: "hm1",
+        read_mb: 8670.0,
+        write_mb: 567.0,
+        read_kops: 580.0,
+        write_kops: 28.0,
+        read_randomness: 98.29,
+        write_randomness: 98.59,
+        locality: Locality::Medium,
+    },
+    Table1Row {
+        name: "msnfs0",
+        read_mb: 1971.0,
+        write_mb: 30519.0,
+        read_kops: 41.0,
+        write_kops: 1467.0,
+        read_randomness: 99.79,
+        write_randomness: 87.23,
+        locality: Locality::Low,
+    },
+    Table1Row {
+        name: "msnfs1",
+        read_mb: 17661.0,
+        write_mb: 17722.0,
+        read_kops: 121.0,
+        write_kops: 2100.0,
+        read_randomness: 88.80,
+        write_randomness: 66.71,
+        locality: Locality::Low,
+    },
+    Table1Row {
+        name: "msnfs2",
+        read_mb: 92772.0,
+        write_mb: 24835.0,
+        read_kops: 9624.0,
+        write_kops: 3003.0,
+        read_randomness: 98.13,
+        write_randomness: 99.97,
+        locality: Locality::High,
+    },
+    Table1Row {
+        name: "msnfs3",
+        read_mb: 5.0,
+        write_mb: 2387.0,
+        read_kops: 1.0,
+        write_kops: 5.0,
+        read_randomness: 22.52,
+        write_randomness: 64.79,
+        locality: Locality::High,
+    },
+    Table1Row {
+        name: "proj0",
+        read_mb: 9407.0,
+        write_mb: 151274.0,
+        read_kops: 527.0,
+        write_kops: 3697.0,
+        read_randomness: 92.05,
+        write_randomness: 79.31,
+        locality: Locality::Medium,
+    },
+    Table1Row {
+        name: "proj1",
+        read_mb: 786810.0,
+        write_mb: 2496.0,
+        read_kops: 21142.0,
+        write_kops: 2496.0,
+        read_randomness: 82.34,
+        write_randomness: 96.88,
+        locality: Locality::Medium,
+    },
+    Table1Row {
+        name: "proj2",
+        read_mb: 1065308.0,
+        write_mb: 176879.0,
+        read_kops: 25641.0,
+        write_kops: 3624.0,
+        read_randomness: 78.74,
+        write_randomness: 93.93,
+        locality: Locality::Low,
+    },
+    Table1Row {
+        name: "proj3",
+        read_mb: 19123.0,
+        write_mb: 2754.0,
+        read_kops: 2128.0,
+        write_kops: 116.0,
+        read_randomness: 75.01,
+        write_randomness: 88.37,
+        locality: Locality::Medium,
+    },
+    Table1Row {
+        name: "proj4",
+        read_mb: 150604.0,
+        write_mb: 1058.0,
+        read_kops: 6369.0,
+        write_kops: 95.0,
+        read_randomness: 84.39,
+        write_randomness: 95.52,
+        locality: Locality::Medium,
+    },
 ];
 
 impl Table1Row {
@@ -84,10 +228,7 @@ impl Table1Row {
         SyntheticSpec::new(self.name)
             .with_read_fraction(self.read_fraction())
             .with_mean_sizes_kb(self.read_mean_kb().max(2.0), self.write_mean_kb().max(2.0))
-            .with_randomness(
-                self.read_randomness / 100.0,
-                self.write_randomness / 100.0,
-            )
+            .with_randomness(self.read_randomness / 100.0, self.write_randomness / 100.0)
             .with_locality(self.locality)
             .with_footprint_mb(2048)
             .with_bursts(8, 150.0)
@@ -138,10 +279,31 @@ mod tests {
             assert!((0.0..=1.0).contains(&f), "{}", row.name);
         }
         // hm1 is read-dominated, msnfs0 is write-dominated.
-        assert!(TABLE1.iter().find(|r| r.name == "hm1").unwrap().read_fraction() > 0.9);
-        assert!(TABLE1.iter().find(|r| r.name == "msnfs0").unwrap().read_fraction() < 0.1);
+        assert!(
+            TABLE1
+                .iter()
+                .find(|r| r.name == "hm1")
+                .unwrap()
+                .read_fraction()
+                > 0.9
+        );
+        assert!(
+            TABLE1
+                .iter()
+                .find(|r| r.name == "msnfs0")
+                .unwrap()
+                .read_fraction()
+                < 0.1
+        );
         // proj2 carries very large reads (low transactional locality, Fig 10b).
-        assert!(TABLE1.iter().find(|r| r.name == "proj2").unwrap().read_mean_kb() > 30.0);
+        assert!(
+            TABLE1
+                .iter()
+                .find(|r| r.name == "proj2")
+                .unwrap()
+                .read_mean_kb()
+                > 30.0
+        );
     }
 
     #[test]

@@ -50,5 +50,5 @@ fn main() {
         );
     }
     println!();
-    println!("SPK3 = Sprinkler (RIOS + FARO); see DESIGN.md for the full system map.");
+    println!("SPK3 = Sprinkler (RIOS + FARO); see README.md for the workspace map.");
 }

@@ -29,6 +29,22 @@
 //! let metrics = ssd.run(requests);
 //! assert_eq!(metrics.io_count, 100);
 //! ```
+//!
+//! # Building and testing
+//!
+//! The workspace is self-contained (external deps are offline shims under
+//! `vendor/`); from a clean checkout:
+//!
+//! ```text
+//! cargo build --release   # every crate
+//! cargo test -q           # unit + integration + property + doc tests
+//! cargo bench --no-run    # compiles the 12 bench targets in crates/bench
+//! ```
+//!
+//! Crate dependency order (each depends on the ones before it):
+//! `sprinkler_sim` → `sprinkler_flash` → `sprinkler_ssd` → `sprinkler_core`,
+//! with `sprinkler_workloads` (only needing `sim`) feeding
+//! `sprinkler_experiments` and `sprinkler_bench` on top.
 
 #![warn(missing_docs)]
 

@@ -39,7 +39,8 @@ fn every_paper_workload_runs_under_every_scheduler() {
         for kind in SchedulerKind::ALL {
             let metrics = run_one(&config, kind, &trace);
             assert_eq!(
-                metrics.io_count, scale.ios_per_workload,
+                metrics.io_count,
+                scale.ios_per_workload,
                 "{kind} dropped I/Os on {}",
                 trace.name()
             );
@@ -73,7 +74,9 @@ fn sweep_workloads_scale_page_counts_with_transfer_size() {
 fn spk3_beats_vas_on_an_enterprise_workload_end_to_end() {
     let scale = quick_scale();
     let config = SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane);
-    let trace = workload("msnfs2").unwrap().generate(scale.ios_per_workload, 77);
+    let trace = workload("msnfs2")
+        .unwrap()
+        .generate(scale.ios_per_workload, 77);
     let vas = run_one(&config, SchedulerKind::Vas, &trace);
     let spk3 = run_one(&config, SchedulerKind::Spk3, &trace);
     assert!(spk3.bandwidth_kb_per_sec > vas.bandwidth_kb_per_sec);
@@ -90,7 +93,10 @@ fn gc_pipeline_works_through_the_facade() {
     let trace = SweepSpec::new(16).with_read_fraction(0.2).generate(150, 11);
     let metrics = run_one_detailed(&config, SchedulerKind::Spk3, &trace, false, Some(0.95));
     assert_eq!(metrics.io_count, 150);
-    assert!(metrics.gc.invocations > 0, "fragmented SSD must garbage-collect");
+    assert!(
+        metrics.gc.invocations > 0,
+        "fragmented SSD must garbage-collect"
+    );
     assert!(metrics.gc.blocks_erased > 0);
 }
 
@@ -101,7 +107,13 @@ fn hand_built_requests_honour_direction_and_size_accounting() {
     let trace = vec![
         HostRequest::new(0, SimTime::ZERO, Direction::Write, Lpn::new(0), 4),
         HostRequest::new(1, SimTime::from_micros(10), Direction::Read, Lpn::new(0), 4),
-        HostRequest::new(2, SimTime::from_micros(20), Direction::Read, Lpn::new(64), 2),
+        HostRequest::new(
+            2,
+            SimTime::from_micros(20),
+            Direction::Read,
+            Lpn::new(64),
+            2,
+        ),
     ];
     let ssd = Ssd::new(config, SchedulerKind::Pas.build()).unwrap();
     let metrics = ssd.run(trace);
@@ -118,7 +130,10 @@ fn deterministic_runs_produce_identical_metrics() {
     let trace = SyntheticSpec::new("det").generate(100, 13);
     let a = run_one(&config, SchedulerKind::Spk3, &trace);
     let b = run_one(&config, SchedulerKind::Spk3, &trace);
-    assert_eq!(a, b, "same trace + same scheduler must give identical metrics");
+    assert_eq!(
+        a, b,
+        "same trace + same scheduler must give identical metrics"
+    );
 }
 
 #[test]

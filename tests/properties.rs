@@ -15,19 +15,23 @@ fn arb_direction() -> impl Strategy<Value = Direction> {
 }
 
 fn arb_requests(max: usize) -> impl Strategy<Value = Vec<HostRequest>> {
-    prop::collection::vec(
-        (0u64..2000, arb_direction(), 0u64..512, 1u32..24),
-        1..max,
+    prop::collection::vec((0u64..2000, arb_direction(), 0u64..512, 1u32..24), 1..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at, dir, lpn, pages))| {
+                    HostRequest::new(
+                        i as u64,
+                        SimTime::from_micros(at),
+                        dir,
+                        Lpn::new(lpn),
+                        pages,
+                    )
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (at, dir, lpn, pages))| {
-                HostRequest::new(i as u64, SimTime::from_micros(at), dir, Lpn::new(lpn), pages)
-            })
-            .collect()
-    })
 }
 
 proptest! {

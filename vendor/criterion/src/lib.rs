@@ -1,0 +1,261 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The container building this repo has no crates.io access, so the bench
+//! harness is vendored: it implements `Criterion`, `BenchmarkGroup`, `Bencher`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros with real
+//! wall-clock timing (warmup iteration + `sample_size` timed samples, reporting
+//! min/mean/max). It is intentionally simple — no outlier analysis, no HTML
+//! reports — but the numbers are honest and the JSON summary line per benchmark
+//! (`{"bench": ..., "mean_ns": ...}` on stdout) is stable enough to diff across
+//! commits (see `BENCH_seed.json` at the workspace root).
+//!
+//! Command-line behavior mirrors what cargo passes to `harness = false` bench
+//! targets: `--test` runs every benchmark exactly once (smoke mode), and a free
+//! argument filters benchmarks by substring, so `cargo bench -- spk3` works.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant folding, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    // The read_volatile dance is what criterion itself does on stable.
+    unsafe {
+        let ret = std::ptr::read_volatile(&value);
+        std::mem::forget(value);
+        ret
+    }
+}
+
+/// How a bench invocation was asked to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full timed run (`cargo bench`).
+    Bench,
+    /// Single-iteration smoke run (`cargo bench -- --test`, or `cargo test`
+    /// executing a bench target).
+    Test,
+}
+
+/// The benchmark manager. One instance is threaded through every function
+/// registered with [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                // Flags cargo/libtest pass through that we accept and ignore.
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Registers a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = match self.mode {
+            Mode::Bench => sample_size.max(1),
+            Mode::Test => 1,
+        };
+        if self.mode == Mode::Bench {
+            // Untimed warmup so one-time costs (lazy init, cold caches) don't
+            // land in the first timed sample and skew recorded baselines.
+            let mut warmup = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut warmup);
+        }
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                times.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+            }
+        }
+        if times.is_empty() {
+            println!("{id}: no iterations recorded");
+            return;
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{id}: mean {} [min {} .. max {}] over {} samples",
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max),
+            times.len()
+        );
+        // Machine-readable line for tooling (one JSON object per benchmark).
+        println!(
+            "{{\"bench\":\"{id}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{}}}",
+            times.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group; the id is reported as
+    /// `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group. (The shim has no per-group state to flush; this exists
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Times closures on behalf of one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into a
+/// callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42u64), 42);
+        let v = vec![1, 2, 3];
+        assert_eq!(black_box(v.clone()), v);
+    }
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        b.iter(|| 1 + 1);
+        b.iter(|| 2 + 2);
+        assert_eq!(b.iterations, 2);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(500.0).ends_with("ns"));
+        assert!(format_ns(5_000.0).ends_with("µs"));
+        assert!(format_ns(5_000_000.0).ends_with("ms"));
+        assert!(format_ns(5e9).ends_with('s'));
+    }
+}

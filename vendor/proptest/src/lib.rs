@@ -1,0 +1,133 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The container building this repo has no crates.io access, so property
+//! testing is vendored: strategies (`Just`, integer/float ranges, tuples,
+//! `prop_oneof!`, `prop::collection::vec`, `prop_map`), the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! Design choices that differ from real proptest, on purpose:
+//!
+//! * **Deterministic by construction.** Case `i` of test `t` is generated from
+//!   `hash(module_path::t, i)` — every run, every machine, same inputs. There
+//!   is no persistence file to manage, which is why `proptest-regressions/`
+//!   holds only a policy README (see that file).
+//! * **`PROPTEST_CASES` caps, never raises.** CI sets it to keep the suite in
+//!   the seconds range; a test asking for 24 cases with `PROPTEST_CASES=8` runs
+//!   8, with `PROPTEST_CASES=1000` still runs 24.
+//! * **No shrinking.** On failure the panic message includes the case index and
+//!   derived seed; rerunning reproduces it exactly, which replaces shrinking's
+//!   role of making failures actionable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors the `prop` module alias from real proptest's prelude
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body. The shim maps this to
+/// `assert!`; the surrounding harness annotates panics with the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly chooses among strategies producing the same value type.
+/// Weighted arms (`weight => strategy`) are accepted and the weights ignored.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]` that runs
+/// the body over `config.cases` deterministically generated inputs (capped by
+/// `PROPTEST_CASES`). Failures panic with the case index so they reproduce
+/// exactly on rerun.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_id, case);
+                    let run = || {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                        )+
+                        $body
+                    };
+                    if let Err(payload) =
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run))
+                    {
+                        eprintln!(
+                            "proptest shim: {test_id} failed at case {case}/{cases} \
+                             (deterministic; rerun reproduces this case)"
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

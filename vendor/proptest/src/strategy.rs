@@ -1,0 +1,338 @@
+//! Value-generation strategies (the shim's counterpart of `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no shrinking tree: `generate` produces the
+/// final value directly from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, mirroring `Strategy::prop_filter`. The shim
+    /// resamples up to a fixed retry budget and panics if the predicate is too
+    /// restrictive.
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            predicate,
+        }
+    }
+
+    /// Boxes this strategy for heterogeneous collections (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> std::fmt::Debug for OneOf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneOf")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Builds the choice strategy; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.next_in_usize_range(0, self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty => $method:ident),+ $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    rng.$method(self.start, self.end)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty inclusive range strategy");
+                    if start == <$ty>::MIN && end == <$ty>::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    // Uniform over [start, end]; the span fits in u64 because
+                    // the full-range case was handled above.
+                    let span = (end as u64) - (start as u64) + 1;
+                    start + (rng.next_u64() % span) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_int_range_strategy! {
+    u8 => next_in_u8_range,
+    u16 => next_in_u16_range,
+    u32 => next_in_u32_range,
+    u64 => next_in_u64_range,
+    usize => next_in_usize_range,
+}
+
+macro_rules! impl_signed_range_strategy {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.next_in_u64_range(0, span) as i128) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty float range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty float range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10u64..20).generate(&mut r);
+            assert!((10..20).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_ends() {
+        let mut r = rng();
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = (0u8..=3).generate(&mut r);
+            assert!(v <= 3);
+            saw_lo |= v == 0;
+            saw_hi |= v == 3;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn inclusive_range_reaches_the_type_maximum() {
+        let mut r = rng();
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            let v = (250u8..=u8::MAX).generate(&mut r);
+            assert!(v >= 250);
+            saw_max |= v == u8::MAX;
+        }
+        assert!(saw_max, "u8::MAX must be generated by 250u8..=u8::MAX");
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut r = rng();
+        let s = Just(21u64).prop_map(|v| v * 2);
+        assert_eq!(s.generate(&mut r), 42);
+    }
+
+    #[test]
+    fn oneof_draws_every_option() {
+        let mut r = rng();
+        let s = OneOf::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn filter_resamples_until_predicate_holds() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u64..10, Just(7u8), 0.0f64..1.0).generate(&mut r);
+        assert!(a < 10);
+        assert_eq!(b, 7);
+        assert!((0.0..1.0).contains(&c));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The container building this repo has no crates.io access, so the workspace
+//! vendors a minimal stand-in: the `Serialize`/`Deserialize` names resolve (both
+//! as derive macros and as traits) and the derives are no-ops. No code in the
+//! workspace serializes through serde — reports are emitted as hand-rolled text
+//! and JSON — so this is sufficient for every `use serde::{Deserialize,
+//! Serialize}` in the tree. Swapping in the real crates later only requires
+//! replacing the `path` dependencies with registry versions.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// implement it; nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. The no-op derive does not
+/// implement it; nothing in the workspace bounds on it.
+pub trait Deserialize<'de>: Sized {}

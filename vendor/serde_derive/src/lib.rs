@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` in this offline workspace.
+//!
+//! The simulator derives `Serialize`/`Deserialize` on its config, metrics, and
+//! report types so downstream users can wire in real serde, but nothing inside
+//! the workspace performs serialization. These derives therefore accept the
+//! syntax and emit no code; the marker traits live in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
