@@ -1,0 +1,26 @@
+//! Regenerates the many-chip scaling sweep (`fig15_scaling`) at bench scale and
+//! times its 1024-chip points, so regressions in full-population simulation
+//! cost — the case the index-driven scheduler hot path exists for — are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::bench_scale;
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::fig15_scaling;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let result = fig15_scaling::run(&scale, None, Some(&[32]));
+    println!("{}", result.panel(32).render());
+
+    let mut group = c.benchmark_group("scaling_1024");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Vas, SchedulerKind::Spk3] {
+        group.bench_function(&format!("{}_1024chips_32kb", kind.label()), |b| {
+            b.iter(|| fig15_scaling::run_point(&scale, 1024, 32, kind))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

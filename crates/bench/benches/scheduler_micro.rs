@@ -1,9 +1,100 @@
-//! Microbenchmark of the bare scheduler hot path: one `representative_run` per
-//! scheduler kind, so per-scheduler overhead (not just SPK3's) is tracked.
+//! Microbenchmark of the bare scheduler hot path.
+//!
+//! Two groups:
+//!
+//! * `scheduler_micro` — one `representative_run` per scheduler kind, so
+//!   per-scheduler end-to-end overhead (not just SPK3's) is tracked;
+//! * `scheduler_rounds` — a single `schedule()` round over a standing 32-deep
+//!   queue at 256 and 1024 chips, for the optimized SPK3 and its full-scan
+//!   reference twin.  This isolates the per-round decision cost the index
+//!   refactor targets; the optimized/reference ratio is the figure recorded in
+//!   `BENCH_scaling.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sprinkler_bench::representative_run;
+use sprinkler_core::reference::ReferenceScheduler;
 use sprinkler_core::SchedulerKind;
+use sprinkler_flash::{FlashGeometry, Lpn};
+use sprinkler_sim::SimTime;
+use sprinkler_ssd::queue::DeviceQueue;
+use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
+use sprinkler_ssd::scheduler::{IoScheduler, SchedulerContext};
+use sprinkler_ssd::ChipOccupancy;
+
+/// A standing steady-state scheduling scene: a full 32-deep queue of 256-page
+/// tags striped over `chips` chips, with all but the last four pages of every
+/// tag already committed — the shape a mid-simulation round sees, where the
+/// seed's full-queue scans walk thousands of committed bitmap slots to find a
+/// handful of schedulable pages.  Read/write LPN ranges overlap so the §4.4
+/// write-after-read checks stay hot.
+fn standing_scene(chips: usize) -> (FlashGeometry, DeviceQueue, Vec<ChipOccupancy>) {
+    const PAGES: u32 = 256;
+    let geometry = FlashGeometry::paper_default().with_chip_count(chips);
+    let mut queue = DeviceQueue::new(32);
+    for t in 0..32u64 {
+        let dir = if t.is_multiple_of(3) {
+            Direction::Write
+        } else {
+            Direction::Read
+        };
+        let host = HostRequest::new(t, SimTime::ZERO, dir, Lpn::new(t * 8), PAGES);
+        let placements = (0..PAGES as usize)
+            .map(|i| {
+                let chip = (t as usize * 37 + i * 13) % chips;
+                let loc = geometry.chip_location(chip);
+                Placement {
+                    chip,
+                    channel: loc.channel,
+                    way: loc.way,
+                    die: (i % 2) as u32,
+                    plane: (i % 4) as u32,
+                }
+            })
+            .collect();
+        assert!(queue.admit(TagId(t), host, SimTime::ZERO, placements));
+    }
+    for t in 0..32u64 {
+        for page in 0..PAGES - 4 {
+            assert!(queue.commit_page(TagId(t), page, SimTime::ZERO));
+        }
+    }
+    let occupancy = (0..chips)
+        .map(|chip| ChipOccupancy {
+            chip,
+            busy: false,
+            outstanding: 0,
+        })
+        .collect();
+    (geometry, queue, occupancy)
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_rounds");
+    group.sample_size(10);
+    for chips in [256usize, 1024] {
+        let (geometry, queue, occupancy) = standing_scene(chips);
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            geometry: &geometry,
+            queue: &queue,
+            occupancy: &occupancy,
+            max_committed_per_chip: 32,
+        };
+        for kind in [SchedulerKind::Spk2, SchedulerKind::Spk3] {
+            let mut fast = kind.build();
+            fast.initialize(&geometry);
+            group.bench_function(&format!("{}_{chips}chips", kind.label()), |b| {
+                b.iter(|| black_box(fast.schedule(&ctx)).len())
+            });
+            let mut reference = ReferenceScheduler::new(kind);
+            reference.initialize(&geometry);
+            group.bench_function(&format!("{}ref_{chips}chips", kind.label()), |b| {
+                b.iter(|| black_box(reference.schedule(&ctx)).len())
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_micro");
@@ -14,5 +105,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, bench_rounds);
 criterion_main!(benches);

@@ -89,6 +89,16 @@ impl FaroSelector {
         if capacity == 0 || candidates.is_empty() {
             return Vec::new();
         }
+        // Fast path for the dominant many-chip shape: every candidate belongs to
+        // one tag, so Algorithm 1 degenerates to "over-commit that tag's pages
+        // in page order" — no ranking rounds, no working buffers.
+        if candidates.windows(2).all(|pair| pair[0].tag == pair[1].tag) {
+            let mut selected: Vec<(TagId, u32)> =
+                candidates.iter().map(|c| (c.tag, c.page)).collect();
+            selected.sort_unstable_by_key(|&(_, page)| page);
+            selected.truncate(capacity);
+            return selected;
+        }
         let mut remaining: Vec<FaroCandidate> = candidates.to_vec();
         let mut selected: Vec<(TagId, u32)> = Vec::new();
         let mut occupied: Vec<(u32, u32)> = Vec::new();
@@ -241,6 +251,40 @@ mod tests {
         assert_eq!(selector.select(&cs, 2).len(), 2);
         assert!(selector.select(&cs, 0).is_empty());
         assert!(selector.select(&[], 5).is_empty());
+    }
+
+    /// Pins the single-tag fast path to the general ranking loop: for any
+    /// single-tag candidate set, Algorithm 1 selects that tag's pages in page
+    /// order up to capacity, so the fast path must produce exactly that.
+    #[test]
+    fn single_tag_fast_path_matches_the_ranking_loop() {
+        // Scrambled page order, duplicate (die, plane) pairs, varying capacity.
+        let cs = vec![
+            cand(5, 7, 0, 2, 3),
+            cand(5, 1, 1, 0, 3),
+            cand(5, 4, 0, 2, 3),
+            cand(5, 0, 0, 0, 3),
+            cand(5, 9, 1, 1, 3),
+        ];
+        let selector = FaroSelector::new(FaroConfig {
+            overcommit_depth: 16,
+        });
+        for capacity in 0..=6 {
+            let fast = selector.select(&cs, capacity);
+            // The ranking loop with a single tag: members sorted by page
+            // (occupied set is empty at sort time), truncated to capacity.
+            let mut expected: Vec<(TagId, u32)> = cs.iter().map(|c| (c.tag, c.page)).collect();
+            expected.sort_unstable_by_key(|&(_, page)| page);
+            expected.truncate(capacity.min(selector.overcommit_depth()));
+            assert_eq!(fast, expected, "capacity {capacity}");
+        }
+        // A second tag must disable the fast path and exercise the ranking
+        // loop: the two-plane tag wins over the single-plane one.
+        let mut with_rival = cs.clone();
+        with_rival.push(cand(6, 0, 0, 1, 1));
+        let picked = selector.select(&with_rival, 6);
+        assert_eq!(picked.len(), 6);
+        assert!(picked.contains(&(TagId(6), 0)));
     }
 
     #[test]

@@ -11,7 +11,17 @@
 //!   otherwise it would observe the new data.
 //!
 //! Both checks are pure functions over the scheduler context so every scheduler
-//! (VAS, PAS, Sprinkler) shares the same policy.
+//! (VAS, PAS, Sprinkler) shares the same policy.  The policy for a blocked write
+//! is uniform across all composition styles: only the hazard-blocked page is
+//! deferred — the scheduler keeps composing the remaining pages of the same tag
+//! and everything behind it (see `SprinklerScheduler` and the property tests).
+//!
+//! The checks are answered from the device queue's incremental indices
+//! ([`sprinkler_ssd::queue::DeviceQueue::horizon_seq`] and
+//! [`sprinkler_ssd::queue::DeviceQueue::has_blocking_read`]), so each query is
+//! O(1)/O(log n) instead of a full-queue scan per page.  The equivalent full-scan
+//! definitions live in [`crate::reference`] and the two are property-tested
+//! against each other.
 
 use sprinkler_ssd::request::TagId;
 use sprinkler_ssd::SchedulerContext;
@@ -26,46 +36,51 @@ impl HazardFilter {
         HazardFilter
     }
 
+    /// The FUA reordering horizon as an admission-sequence bound: tags whose
+    /// `seq` exceeds the bound are off limits this round because an earlier FUA
+    /// request is not yet fully committed.  O(1).
+    ///
+    /// The bound is *inclusive*: the first pending FUA tag itself may still be
+    /// composed (its own commitment is what opens the horizon back up).
+    pub fn horizon_seq(&self, ctx: &SchedulerContext<'_>) -> u64 {
+        ctx.queue.horizon_seq()
+    }
+
     /// How many leading tags (in arrival order) a scheduler may consider this
     /// round.  Tags beyond the first not-fully-committed FUA request are off
     /// limits: reordering past a FUA barrier is forbidden.
+    ///
+    /// This is the counting form of [`HazardFilter::horizon_seq`]; it walks the
+    /// queue and is kept for inspection and tests — hot paths should compare
+    /// against the O(1) sequence bound instead.
     pub fn horizon(&self, ctx: &SchedulerContext<'_>) -> usize {
-        let mut horizon = 0;
-        for tag in ctx.tags() {
-            horizon += 1;
-            if tag.host.fua && !tag.fully_committed() {
-                break;
-            }
-        }
-        horizon
+        let bound = self.horizon_seq(ctx);
+        ctx.tags().take_while(|tag| tag.seq <= bound).count()
     }
 
     /// Whether committing a *write* of `lpn` from `writer` must wait because an
     /// earlier-arrived tag still has an uncommitted read of the same logical page.
+    /// O(log n) via the queue's read-LPN index.
     pub fn write_after_read_blocked(
         &self,
         ctx: &SchedulerContext<'_>,
         writer: TagId,
         lpn: u64,
     ) -> bool {
-        for tag in ctx.tags() {
-            if tag.id == writer {
-                // Only tags that arrived earlier than the writer matter.
-                return false;
-            }
-            if !tag.host.direction.is_read() {
-                continue;
-            }
-            let start = tag.host.start_lpn.value();
-            let end = start + tag.host.pages as u64;
-            if (start..end).contains(&lpn) {
-                let page = (lpn - start) as usize;
-                if !tag.committed[page] {
-                    return true;
-                }
-            }
-        }
-        false
+        let writer_seq = ctx.queue.seq_of(writer).unwrap_or(u64::MAX);
+        self.write_after_read_blocked_seq(ctx, writer_seq, lpn)
+    }
+
+    /// [`HazardFilter::write_after_read_blocked`] for callers that already hold
+    /// the writer's admission sequence number (every hot path does), saving the
+    /// tag-id lookup.
+    pub fn write_after_read_blocked_seq(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        writer_seq: u64,
+        lpn: u64,
+    ) -> bool {
+        ctx.queue.has_blocking_read(lpn, writer_seq)
     }
 }
 
@@ -91,7 +106,7 @@ mod tests {
     fn admit(queue: &mut DeviceQueue, id: u64, dir: Direction, lpn: u64, pages: u32, fua: bool) {
         let host = HostRequest::new(id, SimTime::ZERO, dir, Lpn::new(lpn), pages).with_fua(fua);
         let placements = (0..pages as usize).map(placement).collect();
-        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+        assert!(queue.admit(TagId(id), host, SimTime::ZERO, placements));
     }
 
     fn with_ctx<R>(queue: &DeviceQueue, f: impl FnOnce(&SchedulerContext<'_>) -> R) -> R {
@@ -122,6 +137,7 @@ mod tests {
         let filter = HazardFilter::new();
         with_ctx(&queue, |ctx| {
             assert_eq!(filter.horizon(ctx), 3);
+            assert_eq!(filter.horizon_seq(ctx), u64::MAX);
         });
     }
 
@@ -134,18 +150,14 @@ mod tests {
         let filter = HazardFilter::new();
         with_ctx(&queue, |ctx| {
             assert_eq!(filter.horizon(ctx), 2);
+            assert_eq!(filter.horizon_seq(ctx), queue.seq_of(TagId(1)).unwrap());
         });
         // Once the FUA tag is fully committed the horizon opens up.
-        queue
-            .tag_mut(TagId(1))
-            .unwrap()
-            .mark_committed(0, SimTime::ZERO);
-        queue
-            .tag_mut(TagId(1))
-            .unwrap()
-            .mark_committed(1, SimTime::ZERO);
+        assert!(queue.commit_page(TagId(1), 0, SimTime::ZERO));
+        assert!(queue.commit_page(TagId(1), 1, SimTime::ZERO));
         with_ctx(&queue, |ctx| {
             assert_eq!(filter.horizon(ctx), 3);
+            assert_eq!(filter.horizon_seq(ctx), u64::MAX);
         });
     }
 
@@ -159,10 +171,7 @@ mod tests {
             assert!(filter.write_after_read_blocked(ctx, TagId(1), 102));
             assert!(!filter.write_after_read_blocked(ctx, TagId(1), 105));
         });
-        queue
-            .tag_mut(TagId(0))
-            .unwrap()
-            .mark_committed(2, SimTime::ZERO);
+        assert!(queue.commit_page(TagId(0), 2, SimTime::ZERO));
         with_ctx(&queue, |ctx| {
             assert!(!filter.write_after_read_blocked(ctx, TagId(1), 102));
         });

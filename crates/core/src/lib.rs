@@ -42,12 +42,14 @@
 pub mod faro;
 pub mod hazard;
 pub mod pas;
+pub mod reference;
 pub mod rios;
 pub mod sprinkler;
 pub mod vas;
 
 pub use faro::{FaroConfig, FaroSelector};
 pub use pas::PhysicalAddressScheduler;
+pub use reference::ReferenceScheduler;
 pub use rios::RiosTraversal;
 pub use sprinkler::SprinklerScheduler;
 pub use vas::VirtualAddressScheduler;

@@ -18,6 +18,10 @@ use crate::hazard::HazardFilter;
 #[derive(Debug, Default, Clone)]
 pub struct PhysicalAddressScheduler {
     hazards: HazardFilter,
+    /// Scratch: per-chip commits made this round; only the chips listed in
+    /// `newly_dirty` are non-zero between rounds.
+    newly: Vec<usize>,
+    newly_dirty: Vec<usize>,
 }
 
 impl PhysicalAddressScheduler {
@@ -33,33 +37,42 @@ impl IoScheduler for PhysicalAddressScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        if self.newly.len() < ctx.chip_count() {
+            self.newly.resize(ctx.chip_count(), 0);
+        }
+        for &chip in &self.newly_dirty {
+            self.newly[chip] = 0;
+        }
+        self.newly_dirty.clear();
         let mut out = Vec::new();
-        let mut newly: Vec<usize> = vec![0; ctx.chip_count()];
-        let horizon = self.hazards.horizon(ctx);
-        for tag in ctx.tags().take(horizon) {
+        // A FUA request is a reordering barrier: the horizon bound stops the walk
+        // right after the first not-fully-committed FUA request.
+        let bound = self.hazards.horizon_seq(ctx);
+        for tag in ctx.tags() {
+            if tag.seq > bound {
+                break;
+            }
             let is_write = tag.host.direction.is_write();
             for page in tag.uncommitted_pages() {
                 let chip = tag.placements[page as usize].chip;
                 // Skip (rather than block on) occupied chips: one request per chip.
-                if ctx.outstanding(chip) + newly[chip] >= 1 {
+                if ctx.outstanding(chip) + self.newly[chip] >= 1 {
                     continue;
                 }
                 if is_write
-                    && self.hazards.write_after_read_blocked(
+                    && self.hazards.write_after_read_blocked_seq(
                         ctx,
-                        tag.id,
+                        tag.seq,
                         tag.host.lpn_at(page).value(),
                     )
                 {
                     continue;
                 }
-                newly[chip] += 1;
+                if self.newly[chip] == 0 {
+                    self.newly_dirty.push(chip);
+                }
+                self.newly[chip] += 1;
                 out.push(Commitment { tag: tag.id, page });
-            }
-            // A FUA request is a reordering barrier: do not look past it until it
-            // is fully committed.
-            if tag.host.fua && !tag.fully_committed() {
-                break;
             }
         }
         out
@@ -93,7 +106,7 @@ mod tests {
                 plane: 0,
             })
             .collect();
-        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+        assert!(queue.admit(TagId(id), host, SimTime::ZERO, placements));
     }
 
     fn schedule(queue: &DeviceQueue, outstanding: &[usize]) -> Vec<Commitment> {
@@ -153,7 +166,7 @@ mod tests {
         let mut queue = DeviceQueue::new(8);
         // Tag 0 reads LPN 0..2 (uncommitted), tag 1 writes LPN 1.
         let read = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 2);
-        queue.admit(
+        assert!(queue.admit(
             TagId(0),
             read,
             SimTime::ZERO,
@@ -173,9 +186,9 @@ mod tests {
                     plane: 0,
                 },
             ],
-        );
+        ));
         let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(1), 1);
-        queue.admit(
+        assert!(queue.admit(
             TagId(1),
             write,
             SimTime::ZERO,
@@ -186,7 +199,7 @@ mod tests {
                 die: 0,
                 plane: 0,
             }],
-        );
+        ));
         let out = schedule(&queue, &[0, 0, 0, 0]);
         // The write to LPN 1 must wait for the read of LPN 1 to commit first.
         assert!(out.iter().all(|c| c.tag != TagId(1)));
@@ -198,7 +211,7 @@ mod tests {
         admit_with_chips(&mut queue, 0, Direction::Read, &[0]);
         let fua =
             HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(50), 1).with_fua(true);
-        queue.admit(
+        assert!(queue.admit(
             TagId(1),
             fua,
             SimTime::ZERO,
@@ -209,7 +222,7 @@ mod tests {
                 die: 0,
                 plane: 0,
             }],
-        );
+        ));
         admit_with_chips(&mut queue, 2, Direction::Read, &[3]);
         let out = schedule(&queue, &[0, 0, 0, 0]);
         // The FUA write targets chip 0 which tag 0 just took, so it cannot commit;

@@ -25,6 +25,8 @@ use sprinkler_flash::FlashGeometry;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RiosTraversal {
     order: Vec<usize>,
+    /// Inverse permutation: `position[chip]` is the visit rank of `chip`.
+    position: Vec<usize>,
 }
 
 impl RiosTraversal {
@@ -36,12 +38,23 @@ impl RiosTraversal {
                 order.push(geometry.chip_index(channel as u32, way as u32));
             }
         }
-        RiosTraversal { order }
+        let mut position = vec![0; order.len()];
+        for (rank, &chip) in order.iter().enumerate() {
+            position[chip] = rank;
+        }
+        RiosTraversal { order, position }
     }
 
     /// The flat chip indices in visit order.
     pub fn order(&self) -> &[usize] {
         &self.order
+    }
+
+    /// The visit rank of a chip: `order()[position(chip)] == chip`.  Lets sparse
+    /// chip sets be visited in traversal order without walking all chips.
+    /// Returns `None` for chips outside the geometry.
+    pub fn position(&self, chip: usize) -> Option<usize> {
+        self.position.get(chip).copied()
     }
 
     /// Number of chips covered.
@@ -73,6 +86,16 @@ mod tests {
         let mut sorted: Vec<usize> = t.iter().collect();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..g.total_chips()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn position_is_the_inverse_of_order() {
+        let g = FlashGeometry::paper_default();
+        let t = RiosTraversal::new(&g);
+        for (rank, &chip) in t.order().iter().enumerate() {
+            assert_eq!(t.position(chip), Some(rank));
+        }
+        assert_eq!(t.position(g.total_chips()), None);
     }
 
     #[test]

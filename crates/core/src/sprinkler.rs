@@ -18,7 +18,6 @@
 
 use sprinkler_flash::FlashGeometry;
 use sprinkler_ssd::ftl::PageMigration;
-use sprinkler_ssd::request::TagId;
 use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
 
 use crate::faro::{FaroCandidate, FaroConfig, FaroSelector};
@@ -26,6 +25,13 @@ use crate::hazard::HazardFilter;
 use crate::rios::RiosTraversal;
 
 /// The Sprinkler device-level scheduler (SPK1 / SPK2 / SPK3).
+///
+/// Scheduling rounds are allocation-free after warm-up: the per-chip candidate
+/// buckets, the traversal cursor, and the in-order commit counters are reusable
+/// scratch buffers owned by the scheduler, and candidates are pulled from the
+/// device queue's incremental per-chip index instead of re-scanning every queued
+/// tag.  Per-round cost is therefore proportional to the *newly schedulable
+/// work*, not to queue depth × pages or to the chip population.
 #[derive(Debug, Clone)]
 pub struct SprinklerScheduler {
     use_rios: bool,
@@ -34,6 +40,17 @@ pub struct SprinklerScheduler {
     hazards: HazardFilter,
     traversal: Option<RiosTraversal>,
     readdress_events: u64,
+    /// Scratch: one entry per chip with schedulable work this round —
+    /// (traversal rank, chip, start, end) where `start..end` indexes the flat
+    /// candidate buffer below.
+    chip_scratch: Vec<(usize, usize, usize, usize)>,
+    /// Scratch: this round's FARO candidates for all chips, flat, grouped by
+    /// the ranges recorded in `chip_scratch`.
+    cand_scratch: Vec<FaroCandidate>,
+    /// Scratch: per-chip commits made this round by the in-order path.  Only the
+    /// chips listed in `newly_dirty` are non-zero between rounds.
+    newly: Vec<usize>,
+    newly_dirty: Vec<usize>,
 }
 
 impl SprinklerScheduler {
@@ -64,6 +81,10 @@ impl SprinklerScheduler {
             hazards: HazardFilter::new(),
             traversal: None,
             readdress_events: 0,
+            chip_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            newly: Vec::new(),
+            newly_dirty: Vec::new(),
         }
     }
 
@@ -92,99 +113,136 @@ impl SprinklerScheduler {
 
     /// SPK1 path: in-order composition (the parallelism dependency remains) but
     /// with over-commitment so controllers can still build high-FLP transactions.
-    fn schedule_in_order(&self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn schedule_in_order(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
         let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip);
-        let mut newly: Vec<usize> = vec![0; ctx.chip_count()];
+        if self.newly.len() < ctx.chip_count() {
+            self.newly.resize(ctx.chip_count(), 0);
+        }
+        for &chip in &self.newly_dirty {
+            self.newly[chip] = 0;
+        }
+        self.newly_dirty.clear();
         let mut out = Vec::new();
-        let horizon = self.hazards.horizon(ctx);
-        for tag in ctx.tags().take(horizon) {
+        let bound = self.hazards.horizon_seq(ctx);
+        for tag in ctx.tags() {
+            if tag.seq > bound {
+                break;
+            }
             let is_write = tag.host.direction.is_write();
             for page in tag.uncommitted_pages() {
                 let chip = tag.placements[page as usize].chip;
-                if ctx.outstanding(chip) + newly[chip] >= capacity {
+                if ctx.outstanding(chip) + self.newly[chip] >= capacity {
                     // Like VAS, composition is in-order: the first request that
                     // cannot be committed stalls everything behind it.
                     return out;
                 }
                 if is_write
-                    && self.hazards.write_after_read_blocked(
+                    && self.hazards.write_after_read_blocked_seq(
                         ctx,
-                        tag.id,
+                        tag.seq,
                         tag.host.lpn_at(page).value(),
                     )
                 {
-                    return out;
+                    // §4.4 hazard policy: a write-after-read conflict is a data
+                    // dependency on one logical page, not a resource collision —
+                    // defer only the blocked page and keep composing.
+                    continue;
                 }
-                newly[chip] += 1;
+                if self.newly[chip] == 0 {
+                    self.newly_dirty.push(chip);
+                }
+                self.newly[chip] += 1;
                 out.push(Commitment { tag: tag.id, page });
             }
         }
         out
     }
 
-    /// RIOS path (SPK2/SPK3): group uncommitted pages by target chip, then visit
-    /// chips in traversal order, committing up to the per-chip capacity; FARO
-    /// decides which candidates win when there are more than fit.
-    fn schedule_resource_driven(&self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    /// RIOS path (SPK2/SPK3): visit the chips that have uncommitted candidate
+    /// pages — straight from the device queue's per-chip index — in traversal
+    /// order, committing up to the per-chip capacity; FARO decides which
+    /// candidates win when there are more than fit.
+    fn schedule_resource_driven(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
         let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip);
-        let horizon = self.hazards.horizon(ctx);
+        let bound = self.hazards.horizon_seq(ctx);
         let chip_count = ctx.chip_count();
-        let mut per_chip: Vec<Vec<FaroCandidate>> = vec![Vec::new(); chip_count];
-        let mut blocked: Vec<(TagId, u32)> = Vec::new();
 
-        for (rank, tag) in ctx.tags().take(horizon).enumerate() {
-            let is_write = tag.host.direction.is_write();
-            for page in tag.uncommitted_pages() {
-                if is_write
-                    && self.hazards.write_after_read_blocked(
+        // Pass 1 — one ordered walk of the per-chip candidate index: filter
+        // each chip's candidates (horizon, room, §4.4 write-after-read) into a
+        // flat scratch buffer, remembering each chip's range and traversal rank.
+        self.chip_scratch.clear();
+        self.cand_scratch.clear();
+        for (chip, entries) in ctx.queue.candidate_groups() {
+            if chip >= chip_count {
+                continue;
+            }
+            let rank = match &self.traversal {
+                Some(t) => match t.position(chip) {
+                    Some(rank) => rank,
+                    None => continue,
+                },
+                None => chip,
+            };
+            if capacity.saturating_sub(ctx.outstanding(chip)) == 0 {
+                continue;
+            }
+            let start = self.cand_scratch.len();
+            for &(seq, page, tag_raw, slot) in entries {
+                if seq > bound {
+                    // Candidates are ordered by admission seq: everything past
+                    // the FUA horizon is off limits.
+                    break;
+                }
+                let Some(tag) = ctx.queue.state_at(slot) else {
+                    continue;
+                };
+                debug_assert_eq!(tag.id.0, tag_raw, "stale slot handle in chip index");
+                if tag.host.direction.is_write()
+                    && self.hazards.write_after_read_blocked_seq(
                         ctx,
-                        tag.id,
+                        seq,
                         tag.host.lpn_at(page).value(),
                     )
                 {
-                    blocked.push((tag.id, page));
+                    // §4.4: defer only the hazard-blocked page.
                     continue;
                 }
                 let placement = tag.placements[page as usize];
-                if placement.chip < chip_count {
-                    per_chip[placement.chip].push(FaroCandidate {
-                        tag: tag.id,
-                        page,
-                        die: placement.die,
-                        plane: placement.plane,
-                        arrival_rank: rank,
-                    });
+                self.cand_scratch.push(FaroCandidate {
+                    tag: tag.id,
+                    page,
+                    die: placement.die,
+                    plane: placement.plane,
+                    arrival_rank: seq as usize,
+                });
+                if !self.use_faro {
+                    // No over-commitment: the candidates arrive in
+                    // (admission seq, page) order, so the first non-blocked one
+                    // is the oldest — nothing further can win on this chip.
+                    break;
                 }
             }
+            let end = self.cand_scratch.len();
+            if end > start {
+                self.chip_scratch.push((rank, chip, start, end));
+            }
         }
-        let _ = blocked;
 
+        // Pass 2 — visit the chips in traversal order and commit.
+        self.chip_scratch.sort_unstable();
         let mut out = Vec::new();
-        let order: Vec<usize> = match &self.traversal {
-            Some(t) => t.order().to_vec(),
-            None => (0..chip_count).collect(),
-        };
-        for chip in order {
-            let candidates = &per_chip[chip];
-            if candidates.is_empty() {
-                continue;
-            }
-            let room = capacity.saturating_sub(ctx.outstanding(chip));
-            if room == 0 {
-                continue;
-            }
+        for &(_, chip, start, end) in &self.chip_scratch {
+            let candidates = &self.cand_scratch[start..end];
             if self.use_faro {
+                let room = capacity.saturating_sub(ctx.outstanding(chip));
                 for (tag, page) in self.faro.select(candidates, room) {
                     out.push(Commitment { tag, page });
                 }
             } else {
-                // No over-commitment: take the oldest candidate only.
-                if let Some(best) = candidates.iter().min_by_key(|c| (c.arrival_rank, c.page)) {
-                    out.push(Commitment {
-                        tag: best.tag,
-                        page: best.page,
-                    });
-                }
+                out.push(Commitment {
+                    tag: candidates[0].tag,
+                    page: candidates[0].page,
+                });
             }
         }
         out
@@ -231,7 +289,7 @@ mod tests {
     use sprinkler_flash::Lpn;
     use sprinkler_sim::SimTime;
     use sprinkler_ssd::queue::DeviceQueue;
-    use sprinkler_ssd::request::{Direction, HostRequest, Placement};
+    use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
     use sprinkler_ssd::ChipOccupancy;
 
     fn admit(queue: &mut DeviceQueue, id: u64, dir: Direction, placements: Vec<(usize, u32, u32)>) {
@@ -252,7 +310,7 @@ mod tests {
                 plane,
             })
             .collect();
-        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+        assert!(queue.admit(TagId(id), host, SimTime::ZERO, placements));
     }
 
     fn run_scheduler(
@@ -406,7 +464,7 @@ mod tests {
         let mut queue = DeviceQueue::new(8);
         // Tag 0 reads LPN 0..2, tag 1 writes LPN 1: the write must wait.
         let read = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 2);
-        queue.admit(
+        assert!(queue.admit(
             TagId(0),
             read,
             SimTime::ZERO,
@@ -426,9 +484,9 @@ mod tests {
                     plane: 0,
                 },
             ],
-        );
+        ));
         let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(1), 1);
-        queue.admit(
+        assert!(queue.admit(
             TagId(1),
             write,
             SimTime::ZERO,
@@ -439,10 +497,82 @@ mod tests {
                 die: 0,
                 plane: 0,
             }],
-        );
+        ));
         let mut spk3 = SprinklerScheduler::spk3();
         let out = run_scheduler(&mut spk3, &queue, &[0, 0, 0, 0]);
         assert!(out.iter().all(|c| c.tag != TagId(1)));
         assert_eq!(out.len(), 2);
+    }
+
+    /// Locks in the unified §4.4 hazard policy on *both* composition paths: a
+    /// two-page write with exactly one WAR-blocked page commits the unblocked
+    /// page and defers only the blocked one — the in-order path no longer stalls
+    /// the whole round, and the resource-driven path behaves identically.
+    #[test]
+    fn war_hazard_defers_only_the_blocked_page_on_both_paths() {
+        let build_queue = || {
+            let mut queue = DeviceQueue::new(8);
+            // Tag 0 reads LPN 0 (uncommitted) on chip 3.
+            let read = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 1);
+            assert!(queue.admit(
+                TagId(0),
+                read,
+                SimTime::ZERO,
+                vec![Placement {
+                    chip: 3,
+                    channel: 1,
+                    way: 1,
+                    die: 0,
+                    plane: 0,
+                }],
+            ));
+            // Tag 1 writes LPN 0..2: page 0 is WAR-blocked, page 1 is free.
+            let write = HostRequest::new(1, SimTime::ZERO, Direction::Write, Lpn::new(0), 2);
+            assert!(queue.admit(
+                TagId(1),
+                write,
+                SimTime::ZERO,
+                vec![
+                    Placement {
+                        chip: 0,
+                        channel: 0,
+                        way: 0,
+                        die: 0,
+                        plane: 0,
+                    },
+                    Placement {
+                        chip: 1,
+                        channel: 0,
+                        way: 1,
+                        die: 0,
+                        plane: 0,
+                    },
+                ],
+            ));
+            queue
+        };
+        for mut scheduler in [SprinklerScheduler::spk1(), SprinklerScheduler::spk3()] {
+            let queue = build_queue();
+            let out = run_scheduler(&mut scheduler, &queue, &[0, 0, 0, 0]);
+            let tag1_pages: Vec<u32> = out
+                .iter()
+                .filter(|c| c.tag == TagId(1))
+                .map(|c| c.page)
+                .collect();
+            assert_eq!(
+                tag1_pages,
+                vec![1],
+                "{}: exactly the unblocked page of the write must commit",
+                scheduler.name()
+            );
+            assert!(
+                out.contains(&Commitment {
+                    tag: TagId(0),
+                    page: 0
+                }),
+                "{}: the read must still be composed",
+                scheduler.name()
+            );
+        }
     }
 }

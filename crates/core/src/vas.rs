@@ -19,6 +19,10 @@ use crate::hazard::HazardFilter;
 #[derive(Debug, Default, Clone)]
 pub struct VirtualAddressScheduler {
     hazards: HazardFilter,
+    /// Scratch: per-chip commits made this round; only the chips listed in
+    /// `newly_dirty` are non-zero between rounds.
+    newly: Vec<usize>,
+    newly_dirty: Vec<usize>,
 }
 
 impl VirtualAddressScheduler {
@@ -34,17 +38,29 @@ impl IoScheduler for VirtualAddressScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        if self.newly.len() < ctx.chip_count() {
+            self.newly.resize(ctx.chip_count(), 0);
+        }
+        for &chip in &self.newly_dirty {
+            self.newly[chip] = 0;
+        }
+        self.newly_dirty.clear();
         let mut out = Vec::new();
-        let mut newly: Vec<usize> = vec![0; ctx.chip_count()];
-        let horizon = self.hazards.horizon(ctx);
-        for tag in ctx.tags().take(horizon) {
+        let bound = self.hazards.horizon_seq(ctx);
+        for tag in ctx.tags() {
+            if tag.seq > bound {
+                break;
+            }
             for page in tag.uncommitted_pages() {
                 let chip = tag.placements[page as usize].chip;
                 // In-order pipeline: a busy target chip blocks everything behind it.
-                if ctx.outstanding(chip) + newly[chip] >= 1 {
+                if ctx.outstanding(chip) + self.newly[chip] >= 1 {
                     return out;
                 }
-                newly[chip] += 1;
+                if self.newly[chip] == 0 {
+                    self.newly_dirty.push(chip);
+                }
+                self.newly[chip] += 1;
                 out.push(Commitment { tag: tag.id, page });
             }
         }
@@ -79,7 +95,7 @@ mod tests {
                 plane: 0,
             })
             .collect();
-        queue.admit(TagId(id), host, SimTime::ZERO, placements);
+        assert!(queue.admit(TagId(id), host, SimTime::ZERO, placements));
     }
 
     fn schedule(queue: &DeviceQueue, outstanding: &[usize]) -> Vec<Commitment> {
@@ -141,10 +157,7 @@ mod tests {
     fn already_committed_pages_are_skipped() {
         let mut queue = DeviceQueue::new(8);
         admit_with_chips(&mut queue, 0, &[0, 1]);
-        queue
-            .tag_mut(TagId(0))
-            .unwrap()
-            .mark_committed(0, SimTime::ZERO);
+        assert!(queue.commit_page(TagId(0), 0, SimTime::ZERO));
         let out = schedule(&queue, &[0, 0, 0, 0]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].page, 1);

@@ -13,6 +13,7 @@
 //! | [`fig13`]   | Fig 13 — execution-time breakdown |
 //! | [`fig14`]   | Fig 14 — flash-level parallelism breakdown |
 //! | [`fig15`]   | Fig 15 — chip utilization vs. transfer size and chip count |
+//! | [`fig15_scaling`] | Fig 1 + Fig 15 composite — the 16→1024-chip scaling sweep |
 //! | [`fig16`]   | Fig 16 — flash transaction counts vs. transfer size |
 //! | [`fig17`]   | Fig 17 — garbage collection / readdressing impact |
 //!
@@ -37,6 +38,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig15_scaling;
 pub mod fig16;
 pub mod fig17;
 pub mod report;

@@ -4,19 +4,51 @@
 //! schedulers evaluated in the paper sit on top of the same out-of-order-capable
 //! device queue; they differ only in how they compose and commit memory requests
 //! from the queued tags.
+//!
+//! # Storage and indices
+//!
+//! Internally the queue is a free-list slot map bounded by its capacity: a tag
+//! occupies one slot from admission to retirement, retired slots are recycled, and
+//! arrival order is threaded through the slots as an intrusive doubly-linked list so
+//! [`DeviceQueue::retire`] is O(1).  Total storage is O(queue depth), independent of
+//! how many I/Os have ever been served.
+//!
+//! On top of the slots the queue maintains three incremental indices that turn the
+//! scheduler hot path from full-queue scans into point lookups:
+//!
+//! * a **per-chip candidate index** — for every flash chip, the uncommitted pages
+//!   targeting it, ordered by arrival (admission sequence number, then page), so
+//!   resource-driven schedulers visit only chips that actually have work;
+//! * a **read-LPN hazard index** — for every logical page with an uncommitted read,
+//!   the admission sequence numbers of the reading tags, so the §4.4
+//!   write-after-read check is an O(log n) lookup instead of a full-queue scan;
+//! * a **pending-FUA index** — the admission sequence numbers of queued
+//!   force-unit-access tags that are not yet fully committed, so the reordering
+//!   horizon is an O(1) lookup.
+//!
+//! To keep the indices coherent, all mutation of queued tag state goes through the
+//! queue ([`DeviceQueue::commit_page`], [`DeviceQueue::complete_page`],
+//! [`DeviceQueue::refresh_placements`]); queued tags are only handed out immutably.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 use sprinkler_sim::SimTime;
 
 use crate::request::{HostRequest, Placement, TagId};
 
+/// Sentinel for "no slot" in the intrusive arrival-order list.
+const NIL: usize = usize::MAX;
+
 /// Per-tag state while the I/O request sits in the device queue.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TagState {
     /// The tag identifier.
     pub id: TagId,
+    /// Admission sequence number: strictly increasing with arrival order, so
+    /// `a.seq < b.seq` iff tag `a` was admitted before tag `b`.  Hazard and
+    /// horizon comparisons are expressed over this field.
+    pub seq: u64,
     /// The originating host request.
     pub host: HostRequest,
     /// When the tag was admitted into the device queue.
@@ -29,12 +61,17 @@ pub struct TagState {
     /// per-queue-entry completion bitmap described in §4.4 ("The Order of Output
     /// Data").
     pub completed: Vec<bool>,
+    /// Number of `true` bits in `committed` (kept so fullness checks are O(1)).
+    committed_count: usize,
+    /// Number of `true` bits in `completed` (kept so fullness checks are O(1)).
+    completed_count: usize,
     /// When the first memory request of this tag was committed.
     pub first_commit_at: Option<SimTime>,
 }
 
 impl TagState {
-    /// Creates the state for a newly admitted tag.
+    /// Creates the state for a newly admitted tag.  The admission sequence number
+    /// starts at 0; [`DeviceQueue::admit`] assigns the real one.
     pub fn new(
         id: TagId,
         host: HostRequest,
@@ -45,11 +82,14 @@ impl TagState {
         debug_assert_eq!(placements.len(), pages);
         TagState {
             id,
+            seq: 0,
             host,
             admitted_at,
             placements,
             committed: vec![false; pages],
             completed: vec![false; pages],
+            committed_count: 0,
+            completed_count: 0,
             first_commit_at: None,
         }
     }
@@ -70,17 +110,17 @@ impl TagState {
 
     /// Number of pages not yet committed.
     pub fn uncommitted_count(&self) -> usize {
-        self.committed.iter().filter(|&&c| !c).count()
+        self.pages() - self.committed_count
     }
 
     /// True once every page has been committed.
     pub fn fully_committed(&self) -> bool {
-        self.committed.iter().all(|&c| c)
+        self.committed_count == self.pages()
     }
 
     /// True once every page's memory request has completed.
     pub fn fully_completed(&self) -> bool {
-        self.completed.iter().all(|&c| c)
+        self.completed_count == self.pages()
     }
 
     /// Marks a page committed.  Returns `false` if it was already committed.
@@ -90,14 +130,32 @@ impl TagState {
             return false;
         }
         *slot = true;
+        self.committed_count += 1;
         self.first_commit_at.get_or_insert(now);
         true
     }
 
-    /// Marks a page's memory request completed (clears its bitmap bit).
-    pub fn mark_completed(&mut self, page: u32) {
-        self.completed[page as usize] = true;
+    /// Marks a page's memory request completed (clears its bitmap bit).  Returns
+    /// `false` if it was already completed.
+    pub fn mark_completed(&mut self, page: u32) -> bool {
+        let slot = &mut self.completed[page as usize];
+        if *slot {
+            return false;
+        }
+        *slot = true;
+        self.completed_count += 1;
+        true
     }
+}
+
+/// One recycled storage slot of the queue's slot map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Slot {
+    state: Option<TagState>,
+    /// Previous slot in arrival order (`NIL` at the head).
+    prev: usize,
+    /// Next slot in arrival order (`NIL` at the tail).
+    next: usize,
 }
 
 /// The bounded device-level queue.
@@ -113,16 +171,35 @@ impl TagState {
 /// let mut q = DeviceQueue::new(2);
 /// assert!(!q.is_full());
 /// let host = HostRequest::new(0, SimTime::ZERO, Direction::Read, Lpn::new(0), 1);
-/// q.admit(TagId(0), host, SimTime::ZERO, vec![]);
+/// assert!(q.admit(TagId(0), host, SimTime::ZERO, vec![]));
 /// assert_eq!(q.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeviceQueue {
     capacity: usize,
-    /// Tags in arrival order.
-    order: VecDeque<TagId>,
-    /// Tag state, indexed by position in `order` lookups.
-    tags: Vec<Option<TagState>>,
+    /// Slot-map storage; never grows past `capacity` entries.
+    slots: Vec<Slot>,
+    /// Recycled slot indices.
+    free: Vec<usize>,
+    /// Tag id → slot index.
+    slot_of: HashMap<TagId, usize>,
+    /// First slot in arrival order (`NIL` when empty).
+    head: usize,
+    /// Last slot in arrival order (`NIL` when empty).
+    tail: usize,
+    len: usize,
+    /// Next admission sequence number.
+    next_seq: u64,
+    /// Total uncommitted pages across all queued tags.
+    uncommitted_total: usize,
+    /// chip → (admission seq, page, raw tag id, slot handle) of every
+    /// uncommitted page targeting that chip.  The slot handle lets consumers
+    /// reach the tag state without a hash lookup per candidate.
+    chip_index: BTreeMap<usize, BTreeSet<(u64, u32, u64, usize)>>,
+    /// lpn → admission seqs of read tags whose page at that LPN is uncommitted.
+    read_lpn_index: BTreeMap<u64, BTreeSet<u64>>,
+    /// Admission seqs of queued FUA tags that are not yet fully committed.
+    fua_pending: BTreeSet<u64>,
 }
 
 impl DeviceQueue {
@@ -130,8 +207,17 @@ impl DeviceQueue {
     pub fn new(capacity: usize) -> Self {
         DeviceQueue {
             capacity,
-            order: VecDeque::with_capacity(capacity),
-            tags: Vec::new(),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            slot_of: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            next_seq: 0,
+            uncommitted_total: 0,
+            chip_index: BTreeMap::new(),
+            read_lpn_index: BTreeMap::new(),
+            fua_pending: BTreeSet::new(),
         }
     }
 
@@ -142,43 +228,40 @@ impl DeviceQueue {
 
     /// Number of tags currently queued.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.len
     }
 
     /// True when no tags are queued.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.len == 0
     }
 
     /// True when no further tag can be admitted.
     pub fn is_full(&self) -> bool {
-        self.order.len() >= self.capacity
+        self.len >= self.capacity
     }
 
-    fn slot(&self, id: TagId) -> Option<usize> {
-        let idx = id.0 as usize;
-        if idx < self.tags.len() && self.tags[idx].is_some() {
-            Some(idx)
-        } else {
-            None
-        }
-    }
-
-    /// Admits a host request as a tag.  The caller is responsible for checking
-    /// [`DeviceQueue::is_full`] first; admission beyond capacity is allowed only to
-    /// keep property tests simple and is debug-asserted against.
+    /// Admits a host request as a tag.  Returns `false` — without admitting —
+    /// when the queue is already at capacity.
     ///
     /// Placement previews may be empty if the scheduler never consults them
     /// (virtual address scheduling); in that case page accounting still works but
     /// placement lookups must not be used.
+    #[must_use = "admission fails when the queue is full; the request would be lost"]
     pub fn admit(
         &mut self,
         id: TagId,
         host: HostRequest,
         now: SimTime,
         placements: Vec<Placement>,
-    ) {
-        debug_assert!(!self.is_full(), "admitting into a full device queue");
+    ) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        debug_assert!(
+            !self.slot_of.contains_key(&id),
+            "tag {id} is already queued"
+        );
         let placements = if placements.is_empty() {
             vec![
                 Placement {
@@ -193,47 +276,314 @@ impl DeviceQueue {
         } else {
             placements
         };
-        let state = TagState::new(id, host, now, placements);
-        let idx = id.0 as usize;
-        if idx >= self.tags.len() {
-            self.tags.resize(idx + 1, None);
+        let mut state = TagState::new(id, host, now, placements);
+        state.seq = self.next_seq;
+        self.next_seq += 1;
+        let seq = state.seq;
+
+        // Reserve the storage slot first: the index entries carry it as a
+        // direct handle so hot-path consumers skip the tag-id hash lookup.
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(Slot {
+                    state: None,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+
+        let is_read = host.direction.is_read();
+        for page in 0..state.pages() {
+            let chip = state.placements[page].chip;
+            self.chip_index
+                .entry(chip)
+                .or_default()
+                .insert((seq, page as u32, id.0, slot));
+            if is_read {
+                self.read_lpn_index
+                    .entry(host.lpn_at(page as u32).value())
+                    .or_default()
+                    .insert(seq);
+            }
         }
-        self.tags[idx] = Some(state);
-        self.order.push_back(id);
+        if host.fua {
+            self.fua_pending.insert(seq);
+        }
+        self.uncommitted_total += state.pages();
+        self.slots[slot].state = Some(state);
+        // Link at the tail of the arrival-order list.
+        self.slots[slot].prev = self.tail;
+        self.slots[slot].next = NIL;
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.slots[self.tail].next = slot;
+        }
+        self.tail = slot;
+        self.slot_of.insert(id, slot);
+        self.len += 1;
+        true
     }
 
     /// Removes a completed tag, freeing its queue slot.  Returns its final state.
+    /// O(1) in the queue length (plus index removal for any still-uncommitted
+    /// pages).
     pub fn retire(&mut self, id: TagId) -> Option<TagState> {
-        let idx = self.slot(id)?;
-        self.order.retain(|&t| t != id);
-        self.tags[idx].take()
+        let slot = self.slot_of.remove(&id)?;
+        let state = self.slots[slot].state.take()?;
+        // Unlink from the arrival-order list.
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.free.push(slot);
+        self.len -= 1;
+        // Drop any remaining index entries for uncommitted pages.
+        for page in 0..state.pages() {
+            if !state.committed[page] {
+                self.unindex_page(&state, page as u32, slot);
+                self.uncommitted_total -= 1;
+            }
+        }
+        self.fua_pending.remove(&state.seq);
+        Some(state)
+    }
+
+    /// Marks a page of a queued tag committed, keeping the hazard and chip indices
+    /// coherent.  Returns `false` when the tag is not queued, the page offset is
+    /// out of range, or the page was already committed.
+    pub fn commit_page(&mut self, id: TagId, page: u32, now: SimTime) -> bool {
+        let Some(&slot) = self.slot_of.get(&id) else {
+            return false;
+        };
+        let Some(state) = self.slots[slot].state.as_mut() else {
+            return false;
+        };
+        if page as usize >= state.pages() || !state.mark_committed(page, now) {
+            return false;
+        }
+        let seq = state.seq;
+        let chip = state.placements[page as usize].chip;
+        let read_lpn = state
+            .host
+            .direction
+            .is_read()
+            .then(|| state.host.lpn_at(page).value());
+        let fua_done = state.host.fua && state.fully_committed();
+        self.uncommitted_total -= 1;
+        if let Some(set) = self.chip_index.get_mut(&chip) {
+            set.remove(&(seq, page, id.0, slot));
+            if set.is_empty() {
+                self.chip_index.remove(&chip);
+            }
+        }
+        if let Some(lpn) = read_lpn {
+            if let Some(set) = self.read_lpn_index.get_mut(&lpn) {
+                set.remove(&seq);
+                if set.is_empty() {
+                    self.read_lpn_index.remove(&lpn);
+                }
+            }
+        }
+        if fua_done {
+            self.fua_pending.remove(&seq);
+        }
+        true
+    }
+
+    /// Marks a page's memory request completed.  Returns `false` when the tag is
+    /// not queued or the page was already completed.
+    pub fn complete_page(&mut self, id: TagId, page: u32) -> bool {
+        match self.state_mut(id) {
+            Some(state) if (page as usize) < state.pages() => state.mark_completed(page),
+            _ => false,
+        }
+    }
+
+    /// Rewrites the placement preview of every queued, still-uncommitted page
+    /// addressing `lpn` (GC readdressing, §4.3), keeping the chip index coherent.
+    pub fn refresh_placements(&mut self, lpn: u64, preview: Placement) {
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let slot = &mut self.slots[cursor];
+            let next = slot.next;
+            if let Some(state) = slot.state.as_mut() {
+                let start = state.host.start_lpn.value();
+                let end = start + state.host.pages as u64;
+                if (start..end).contains(&lpn) {
+                    let page = (lpn - start) as usize;
+                    if !state.committed[page] {
+                        let old_chip = state.placements[page].chip;
+                        let key = (state.seq, page as u32, state.id.0, cursor);
+                        state.placements[page] = preview;
+                        if old_chip != preview.chip {
+                            if let Some(set) = self.chip_index.get_mut(&old_chip) {
+                                set.remove(&key);
+                                if set.is_empty() {
+                                    self.chip_index.remove(&old_chip);
+                                }
+                            }
+                            self.chip_index.entry(preview.chip).or_default().insert(key);
+                        }
+                    }
+                }
+            }
+            cursor = next;
+        }
+    }
+
+    /// Removes a page's entries from the chip and read-LPN indices.
+    fn unindex_page(&mut self, state: &TagState, page: u32, slot: usize) {
+        let chip = state.placements[page as usize].chip;
+        if let Some(set) = self.chip_index.get_mut(&chip) {
+            set.remove(&(state.seq, page, state.id.0, slot));
+            if set.is_empty() {
+                self.chip_index.remove(&chip);
+            }
+        }
+        if state.host.direction.is_read() {
+            let lpn = state.host.lpn_at(page).value();
+            if let Some(set) = self.read_lpn_index.get_mut(&lpn) {
+                set.remove(&state.seq);
+                if set.is_empty() {
+                    self.read_lpn_index.remove(&lpn);
+                }
+            }
+        }
+    }
+
+    fn state_mut(&mut self, id: TagId) -> Option<&mut TagState> {
+        let &slot = self.slot_of.get(&id)?;
+        self.slots[slot].state.as_mut()
     }
 
     /// Queued tag identifiers in arrival order.
     pub fn tags_in_order(&self) -> impl Iterator<Item = TagId> + '_ {
-        self.order.iter().copied()
+        self.iter_states().map(|state| state.id)
+    }
+
+    /// Queued tag states in arrival order.
+    pub fn iter_states(&self) -> impl Iterator<Item = &TagState> + '_ {
+        let mut cursor = self.head;
+        std::iter::from_fn(move || {
+            while cursor != NIL {
+                let slot = &self.slots[cursor];
+                cursor = slot.next;
+                if let Some(state) = slot.state.as_ref() {
+                    return Some(state);
+                }
+            }
+            None
+        })
     }
 
     /// Looks up a tag's state.
     pub fn tag(&self, id: TagId) -> Option<&TagState> {
-        self.slot(id).and_then(|i| self.tags[i].as_ref())
+        let &slot = self.slot_of.get(&id)?;
+        self.slots[slot].state.as_ref()
     }
 
-    /// Looks up a tag's state mutably.
-    pub fn tag_mut(&mut self, id: TagId) -> Option<&mut TagState> {
-        match self.slot(id) {
-            Some(i) => self.tags[i].as_mut(),
-            None => None,
-        }
+    /// A queued tag's admission sequence number.
+    pub fn seq_of(&self, id: TagId) -> Option<u64> {
+        self.tag(id).map(|state| state.seq)
     }
 
-    /// Total uncommitted pages across all queued tags.
+    /// Total uncommitted pages across all queued tags (O(1)).
     pub fn total_uncommitted_pages(&self) -> usize {
-        self.order
+        self.uncommitted_total
+    }
+
+    // ------------------------------------------------------------------
+    // Index views consumed by the scheduler hot path
+    // ------------------------------------------------------------------
+
+    /// The §4.4 reordering horizon as an admission-sequence bound: tags with
+    /// `seq <= horizon_seq()` may be considered this round; tags beyond the first
+    /// not-fully-committed FUA request are off limits.  O(1).
+    pub fn horizon_seq(&self) -> u64 {
+        self.fua_pending.first().copied().unwrap_or(u64::MAX)
+    }
+
+    /// Whether a read tag admitted strictly before `seq` still has an uncommitted
+    /// read of logical page `lpn` (the §4.4 write-after-read hazard).  O(log n).
+    pub fn has_blocking_read(&self, lpn: u64, seq: u64) -> bool {
+        self.read_lpn_index
+            .get(&lpn)
+            .and_then(|set| set.first())
+            .is_some_and(|&earliest| earliest < seq)
+    }
+
+    /// Chips with at least one uncommitted candidate page, in ascending chip
+    /// order.  Iterating this instead of every chip keeps resource-driven
+    /// scheduling rounds proportional to queued work, not to the chip population.
+    pub fn candidate_chips(&self) -> impl Iterator<Item = usize> + '_ {
+        self.chip_index.keys().copied()
+    }
+
+    /// The uncommitted candidate pages targeting one chip, in arrival order
+    /// (admission seq, then page offset).  The final element is the tag's slot
+    /// handle for [`DeviceQueue::state_at`].
+    pub fn chip_candidates(
+        &self,
+        chip: usize,
+    ) -> impl Iterator<Item = (u64, u32, TagId, usize)> + '_ {
+        self.chip_index
+            .get(&chip)
+            .into_iter()
+            .flatten()
+            .map(|&(seq, page, tag, slot)| (seq, page, TagId(tag), slot))
+    }
+
+    /// Resolves a slot handle from [`DeviceQueue::chip_candidates`] to the tag
+    /// state it indexes, without a hash lookup.
+    pub fn state_at(&self, slot: usize) -> Option<&TagState> {
+        self.slots.get(slot)?.state.as_ref()
+    }
+
+    /// One ordered walk over the whole per-chip candidate index: yields every
+    /// chip with queued work (ascending chip order) together with its raw
+    /// entries `(admission seq, page, raw tag id, slot handle)` in arrival
+    /// order.  A single walk is cheaper than one [`DeviceQueue::chip_candidates`]
+    /// lookup per chip when a round visits many chips.
+    pub fn candidate_groups(
+        &self,
+    ) -> impl Iterator<
+        Item = (
+            usize,
+            std::collections::btree_set::Iter<'_, (u64, u32, u64, usize)>,
+        ),
+    > + '_ {
+        self.chip_index
             .iter()
-            .filter_map(|&id| self.tag(id))
-            .map(|t| t.uncommitted_count())
-            .sum()
+            .map(|(&chip, set)| (chip, set.iter()))
+    }
+
+    // ------------------------------------------------------------------
+    // Storage introspection (regression tests for bounded memory)
+    // ------------------------------------------------------------------
+
+    /// Number of storage slots ever allocated.  Bounded by the queue capacity, no
+    /// matter how many I/Os have been served.
+    pub fn allocated_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total entries across the chip, read-LPN, and FUA indices.  Bounded by the
+    /// number of queued uncommitted pages.
+    pub fn index_entries(&self) -> usize {
+        let chip: usize = self.chip_index.values().map(|set| set.len()).sum();
+        let lpn: usize = self.read_lpn_index.values().map(|set| set.len()).sum();
+        chip + lpn + self.fua_pending.len()
     }
 }
 
@@ -253,6 +603,10 @@ mod tests {
         )
     }
 
+    fn read_host(id: u64, lpn: u64, pages: u32) -> HostRequest {
+        HostRequest::new(id, SimTime::ZERO, Direction::Read, Lpn::new(lpn), pages)
+    }
+
     fn placements(n: usize) -> Vec<Placement> {
         (0..n)
             .map(|i| Placement {
@@ -268,8 +622,8 @@ mod tests {
     #[test]
     fn admit_and_retire_roundtrip() {
         let mut q = DeviceQueue::new(4);
-        q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2));
-        q.admit(TagId(1), host(1, 3), SimTime::from_nanos(5), placements(3));
+        assert!(q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2)));
+        assert!(q.admit(TagId(1), host(1, 3), SimTime::from_nanos(5), placements(3)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
         assert!(!q.is_full());
@@ -285,53 +639,74 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_reported() {
+    fn capacity_is_reported_and_enforced() {
         let mut q = DeviceQueue::new(2);
-        q.admit(TagId(0), host(0, 1), SimTime::ZERO, placements(1));
+        assert!(q.admit(TagId(0), host(0, 1), SimTime::ZERO, placements(1)));
         assert!(!q.is_full());
-        q.admit(TagId(1), host(1, 1), SimTime::ZERO, placements(1));
+        assert!(q.admit(TagId(1), host(1, 1), SimTime::ZERO, placements(1)));
         assert!(q.is_full());
         assert_eq!(q.capacity(), 2);
+        // Over-capacity admission is rejected, not silently allowed.
+        assert!(!q.admit(TagId(2), host(2, 1), SimTime::ZERO, placements(1)));
+        assert_eq!(q.len(), 2);
+        assert!(q.tag(TagId(2)).is_none());
+        // Retiring frees the slot for a new admission.
+        q.retire(TagId(0)).unwrap();
+        assert!(q.admit(TagId(2), host(2, 1), SimTime::ZERO, placements(1)));
+        assert_eq!(
+            q.tags_in_order().collect::<Vec<_>>(),
+            vec![TagId(1), TagId(2)]
+        );
     }
 
     #[test]
     fn tag_commit_and_complete_bitmaps() {
         let mut q = DeviceQueue::new(4);
-        q.admit(TagId(7), host(7, 3), SimTime::from_nanos(10), placements(3));
-        let tag = q.tag_mut(TagId(7)).unwrap();
-        assert_eq!(tag.uncommitted_count(), 3);
-        assert_eq!(tag.uncommitted_pages().collect::<Vec<_>>(), vec![0, 1, 2]);
-        assert!(tag.mark_committed(1, SimTime::from_nanos(20)));
-        assert!(!tag.mark_committed(1, SimTime::from_nanos(30)));
+        assert!(q.admit(TagId(7), host(7, 3), SimTime::from_nanos(10), placements(3)));
+        assert_eq!(q.tag(TagId(7)).unwrap().uncommitted_count(), 3);
+        assert_eq!(
+            q.tag(TagId(7))
+                .unwrap()
+                .uncommitted_pages()
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(q.commit_page(TagId(7), 1, SimTime::from_nanos(20)));
+        assert!(!q.commit_page(TagId(7), 1, SimTime::from_nanos(30)));
+        let tag = q.tag(TagId(7)).unwrap();
         assert_eq!(tag.first_commit_at, Some(SimTime::from_nanos(20)));
         assert_eq!(tag.uncommitted_pages().collect::<Vec<_>>(), vec![0, 2]);
         assert!(!tag.fully_committed());
-        tag.mark_committed(0, SimTime::from_nanos(40));
-        tag.mark_committed(2, SimTime::from_nanos(40));
-        assert!(tag.fully_committed());
-        assert!(!tag.fully_completed());
-        tag.mark_completed(0);
-        tag.mark_completed(1);
-        tag.mark_completed(2);
-        assert!(tag.fully_completed());
+        assert!(q.commit_page(TagId(7), 0, SimTime::from_nanos(40)));
+        assert!(q.commit_page(TagId(7), 2, SimTime::from_nanos(40)));
+        assert!(q.tag(TagId(7)).unwrap().fully_committed());
+        assert!(!q.tag(TagId(7)).unwrap().fully_completed());
+        assert!(q.complete_page(TagId(7), 0));
+        assert!(q.complete_page(TagId(7), 1));
+        assert!(
+            !q.complete_page(TagId(7), 1),
+            "double completion is rejected"
+        );
+        assert!(q.complete_page(TagId(7), 2));
+        assert!(q.tag(TagId(7)).unwrap().fully_completed());
     }
 
     #[test]
     fn total_uncommitted_pages_sums_tags() {
         let mut q = DeviceQueue::new(4);
-        q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2));
-        q.admit(TagId(1), host(1, 5), SimTime::ZERO, placements(5));
+        assert!(q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2)));
+        assert!(q.admit(TagId(1), host(1, 5), SimTime::ZERO, placements(5)));
         assert_eq!(q.total_uncommitted_pages(), 7);
-        q.tag_mut(TagId(1))
-            .unwrap()
-            .mark_committed(0, SimTime::ZERO);
+        assert!(q.commit_page(TagId(1), 0, SimTime::ZERO));
         assert_eq!(q.total_uncommitted_pages(), 6);
+        q.retire(TagId(0)).unwrap();
+        assert_eq!(q.total_uncommitted_pages(), 4);
     }
 
     #[test]
     fn empty_placements_are_padded() {
         let mut q = DeviceQueue::new(2);
-        q.admit(TagId(0), host(0, 3), SimTime::ZERO, Vec::new());
+        assert!(q.admit(TagId(0), host(0, 3), SimTime::ZERO, Vec::new()));
         assert_eq!(q.tag(TagId(0)).unwrap().placements.len(), 3);
     }
 
@@ -339,5 +714,168 @@ mod tests {
     fn tag_state_page_count() {
         let state = TagState::new(TagId(1), host(1, 4), SimTime::ZERO, placements(4));
         assert_eq!(state.pages(), 4);
+        assert_eq!(state.seq, 0);
+    }
+
+    #[test]
+    fn admission_seqs_increase_with_arrival_order() {
+        let mut q = DeviceQueue::new(4);
+        assert!(q.admit(TagId(9), host(9, 1), SimTime::ZERO, placements(1)));
+        assert!(q.admit(TagId(3), host(3, 1), SimTime::ZERO, placements(1)));
+        let (a, b) = (q.seq_of(TagId(9)).unwrap(), q.seq_of(TagId(3)).unwrap());
+        assert!(a < b, "arrival order must be reflected in seqs");
+        q.retire(TagId(9)).unwrap();
+        assert!(q.admit(TagId(9), host(9, 1), SimTime::ZERO, placements(1)));
+        assert!(q.seq_of(TagId(9)).unwrap() > b, "seqs never repeat");
+    }
+
+    #[test]
+    fn chip_index_tracks_uncommitted_pages() {
+        let mut q = DeviceQueue::new(4);
+        assert!(q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2)));
+        assert!(q.admit(TagId(1), host(1, 2), SimTime::ZERO, placements(2)));
+        assert_eq!(q.candidate_chips().collect::<Vec<_>>(), vec![0, 1]);
+        // Chip 0 holds page 0 of both tags, in arrival order.
+        let chip0: Vec<(u32, TagId)> = q
+            .chip_candidates(0)
+            .map(|(_, page, tag, _)| (page, tag))
+            .collect();
+        assert_eq!(chip0, vec![(0, TagId(0)), (0, TagId(1))]);
+        assert!(q.commit_page(TagId(0), 0, SimTime::ZERO));
+        let chip0: Vec<TagId> = q.chip_candidates(0).map(|(_, _, tag, _)| tag).collect();
+        assert_eq!(chip0, vec![TagId(1)]);
+        q.retire(TagId(1)).unwrap();
+        assert_eq!(q.candidate_chips().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn chip_index_follows_placement_refreshes() {
+        let mut q = DeviceQueue::new(4);
+        assert!(q.admit(TagId(0), read_host(0, 500, 1), SimTime::ZERO, placements(1)));
+        let moved = Placement {
+            chip: 3,
+            channel: 1,
+            way: 1,
+            die: 0,
+            plane: 1,
+        };
+        q.refresh_placements(500, moved);
+        assert_eq!(q.candidate_chips().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(q.tag(TagId(0)).unwrap().placements[0], moved);
+        // Committed pages are not rewritten.
+        assert!(q.commit_page(TagId(0), 0, SimTime::ZERO));
+        let back = Placement {
+            chip: 0,
+            channel: 0,
+            way: 0,
+            die: 0,
+            plane: 0,
+        };
+        q.refresh_placements(500, back);
+        assert_eq!(q.tag(TagId(0)).unwrap().placements[0], moved);
+    }
+
+    #[test]
+    fn read_lpn_index_answers_hazard_queries() {
+        let mut q = DeviceQueue::new(4);
+        assert!(q.admit(TagId(0), read_host(0, 100, 4), SimTime::ZERO, placements(4)));
+        let writer_seq = q.seq_of(TagId(0)).unwrap() + 1;
+        assert!(q.has_blocking_read(102, writer_seq));
+        assert!(!q.has_blocking_read(104, writer_seq));
+        // Reads at or after the writer's seq do not block it.
+        assert!(!q.has_blocking_read(102, q.seq_of(TagId(0)).unwrap()));
+        assert!(q.commit_page(TagId(0), 2, SimTime::ZERO));
+        assert!(!q.has_blocking_read(102, writer_seq));
+        assert!(q.has_blocking_read(101, writer_seq));
+        q.retire(TagId(0)).unwrap();
+        assert!(!q.has_blocking_read(101, writer_seq));
+    }
+
+    #[test]
+    fn fua_horizon_is_constant_time_and_tracks_commitment() {
+        let mut q = DeviceQueue::new(4);
+        assert_eq!(q.horizon_seq(), u64::MAX);
+        assert!(q.admit(TagId(0), read_host(0, 0, 1), SimTime::ZERO, placements(1)));
+        let fua = host(1, 2).with_fua(true);
+        assert!(q.admit(TagId(1), fua, SimTime::ZERO, placements(2)));
+        assert!(q.admit(TagId(2), read_host(2, 50, 1), SimTime::ZERO, placements(1)));
+        assert_eq!(q.horizon_seq(), q.seq_of(TagId(1)).unwrap());
+        assert!(q.commit_page(TagId(1), 0, SimTime::ZERO));
+        assert_eq!(q.horizon_seq(), q.seq_of(TagId(1)).unwrap());
+        assert!(q.commit_page(TagId(1), 1, SimTime::ZERO));
+        assert_eq!(q.horizon_seq(), u64::MAX);
+    }
+
+    /// Satellite regression test: storage stays bounded by the queue depth no
+    /// matter how many I/Os flow through — retired slots are recycled and index
+    /// entries are reclaimed (the seed kept a `Vec` indexed by raw `TagId`, so
+    /// memory grew O(total I/Os served)).
+    #[test]
+    fn storage_is_bounded_by_depth_across_many_ios() {
+        const DEPTH: usize = 8;
+        const IOS: u64 = 10_000;
+        let mut q = DeviceQueue::new(DEPTH);
+        let mut next_admit = 0u64;
+        let mut next_retire = 0u64;
+        while next_retire < IOS {
+            while next_admit < IOS && !q.is_full() {
+                let dir_read = next_admit.is_multiple_of(3);
+                let fua = next_admit.is_multiple_of(97);
+                let h = HostRequest::new(
+                    next_admit,
+                    SimTime::ZERO,
+                    if dir_read {
+                        Direction::Read
+                    } else {
+                        Direction::Write
+                    },
+                    Lpn::new(next_admit % 512),
+                    3,
+                )
+                .with_fua(fua);
+                assert!(q.admit(TagId(next_admit), h, SimTime::ZERO, placements(3)));
+                next_admit += 1;
+            }
+            // Retire the oldest tag after committing and completing its pages.
+            let oldest = TagId(next_retire);
+            for page in 0..3 {
+                assert!(q.commit_page(oldest, page, SimTime::ZERO));
+                assert!(q.complete_page(oldest, page));
+            }
+            assert!(q.retire(oldest).is_some());
+            next_retire += 1;
+
+            assert!(
+                q.allocated_slots() <= DEPTH,
+                "slot storage grew past the queue depth: {}",
+                q.allocated_slots()
+            );
+            assert!(
+                q.index_entries() <= DEPTH * 3 + DEPTH,
+                "index storage grew past the queued work: {}",
+                q.index_entries()
+            );
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.total_uncommitted_pages(), 0);
+        assert_eq!(q.index_entries(), 0);
+        assert!(q.allocated_slots() <= DEPTH);
+    }
+
+    #[test]
+    fn iter_states_matches_arrival_order_after_interior_retire() {
+        let mut q = DeviceQueue::new(4);
+        for id in 0..4u64 {
+            assert!(q.admit(TagId(id), host(id, 1), SimTime::ZERO, placements(1)));
+        }
+        q.retire(TagId(1)).unwrap();
+        q.retire(TagId(2)).unwrap();
+        assert!(q.admit(TagId(4), host(4, 1), SimTime::ZERO, placements(1)));
+        assert_eq!(
+            q.tags_in_order().collect::<Vec<_>>(),
+            vec![TagId(0), TagId(3), TagId(4)]
+        );
+        let seqs: Vec<u64> = q.iter_states().map(|s| s.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -59,9 +59,7 @@ pub struct SchedulerContext<'a> {
 impl<'a> SchedulerContext<'a> {
     /// Tags in arrival order together with their state.
     pub fn tags(&self) -> impl Iterator<Item = &'a TagState> + '_ {
-        self.queue
-            .tags_in_order()
-            .filter_map(move |id| self.queue.tag(id))
+        self.queue.iter_states()
     }
 
     /// Outstanding committed requests for a chip.
@@ -188,7 +186,7 @@ mod tests {
                     plane: i as u32 % geometry.planes_per_die as u32,
                 })
                 .collect();
-            q.admit(TagId(t), host, SimTime::ZERO, placements);
+            assert!(q.admit(TagId(t), host, SimTime::ZERO, placements));
         }
         q
     }

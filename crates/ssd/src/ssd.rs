@@ -119,10 +119,17 @@ pub struct Ssd {
 
     waiting_host: VecDeque<HostRequest>,
     mem_requests: HashMap<MemReqId, MemoryRequest>,
-    outstanding_per_chip: Vec<usize>,
+    /// Per-chip occupancy as exposed to the scheduler.  Maintained incrementally
+    /// (commit, completion, transaction start/end) so scheduling rounds never
+    /// rebuild an O(chip count) view.
+    occupancy: Vec<ChipOccupancy>,
     live_txns: HashMap<u64, LiveTransaction>,
     chip_kick_pending: Vec<bool>,
     schedule_pending: bool,
+    /// Scratch for per-round commit counting; only the chips listed in
+    /// `commit_dirty` hold non-zero entries between rounds.
+    commit_scratch: Vec<usize>,
+    commit_dirty: Vec<usize>,
 
     gc_jobs: Vec<GcJob>,
     gc_roles: HashMap<MemReqId, GcRole>,
@@ -178,10 +185,18 @@ impl Ssd {
             events: EventQueue::new(),
             waiting_host: VecDeque::new(),
             mem_requests: HashMap::new(),
-            outstanding_per_chip: vec![0; total_chips],
+            occupancy: (0..total_chips)
+                .map(|chip| ChipOccupancy {
+                    chip,
+                    busy: false,
+                    outstanding: 0,
+                })
+                .collect(),
             live_txns: HashMap::new(),
             chip_kick_pending: vec![false; total_chips],
             schedule_pending: false,
+            commit_scratch: vec![0; total_chips],
+            commit_dirty: Vec::new(),
             gc_jobs: Vec::new(),
             gc_roles: HashMap::new(),
             gc_active_planes: HashSet::new(),
@@ -299,7 +314,8 @@ impl Ssd {
                 .map(|i| self.ftl.preview(request.lpn_at(i), request.direction))
                 .collect();
             self.metrics.record_admission(request.arrival, now);
-            self.queue.admit(tag, request, now, placements);
+            let admitted = self.queue.admit(tag, request, now, placements);
+            debug_assert!(admitted, "admission into a non-full queue must succeed");
         }
     }
 
@@ -310,64 +326,56 @@ impl Ssd {
         }
     }
 
-    fn occupancy_view(&self) -> Vec<ChipOccupancy> {
-        self.outstanding_per_chip
-            .iter()
-            .enumerate()
-            .map(|(chip, &outstanding)| ChipOccupancy {
-                chip,
-                busy: self.chips[chip].is_busy(),
-                outstanding,
-            })
-            .collect()
-    }
-
     fn run_scheduler(&mut self, now: SimTime) {
         if self.queue.is_empty() {
             return;
         }
-        let occupancy = self.occupancy_view();
         let commitments = {
             let ctx = SchedulerContext {
                 now,
                 geometry: &self.config.geometry,
                 queue: &self.queue,
-                occupancy: &occupancy,
+                occupancy: &self.occupancy,
                 max_committed_per_chip: self.config.max_committed_per_chip,
             };
             self.scheduler.schedule(&ctx)
         };
-        let mut committed_now: Vec<usize> = vec![0; self.outstanding_per_chip.len()];
+        for &chip in &self.commit_dirty {
+            self.commit_scratch[chip] = 0;
+        }
+        self.commit_dirty.clear();
         for Commitment { tag, page } in commitments {
-            self.commit_memory_request(tag, page, now, &mut committed_now);
+            self.commit_memory_request(tag, page, now);
         }
     }
 
-    fn commit_memory_request(
-        &mut self,
-        tag_id: TagId,
-        page: u32,
-        now: SimTime,
-        committed_now: &mut [usize],
-    ) {
+    fn commit_memory_request(&mut self, tag_id: TagId, page: u32, now: SimTime) {
         let page_size = self.config.page_size() as u64;
-        let Some(tag) = self.queue.tag_mut(tag_id) else {
+        let Some(tag) = self.queue.tag(tag_id) else {
             return;
         };
         if page as usize >= tag.pages() {
             return;
         }
         let chip = tag.placements[page as usize].chip;
-        let already = self.outstanding_per_chip[chip] + committed_now[chip];
+        // NOTE: `outstanding` is itself incremented further down this function,
+        // so same-round commits are counted twice here and the effective
+        // per-round headroom is ceil(max_committed_per_chip / 2).  This
+        // double count is preserved seed behavior — changing it would alter
+        // every scheduler's commitment stream (see ROADMAP open items).
+        let already = self.occupancy[chip].outstanding + self.commit_scratch[chip];
         if already >= self.config.max_committed_per_chip {
             return;
         }
-        if !tag.mark_committed(page, now) {
-            return;
-        }
-        committed_now[chip] += 1;
         let host = tag.host;
         let placement = tag.placements[page as usize];
+        if !self.queue.commit_page(tag_id, page, now) {
+            return;
+        }
+        if self.commit_scratch[chip] == 0 {
+            self.commit_dirty.push(chip);
+        }
+        self.commit_scratch[chip] += 1;
         let id = MemReqId(self.next_mreq);
         self.next_mreq += 1;
         let request = MemoryRequest::new_host(
@@ -379,7 +387,7 @@ impl Ssd {
             placement,
             now,
         );
-        self.outstanding_per_chip[chip] += 1;
+        self.occupancy[chip].outstanding += 1;
         let is_write = host.direction.is_write();
         self.mem_requests.insert(id, request);
         if is_write {
@@ -486,6 +494,7 @@ impl Ssd {
         let phase = self.chips[chip_index]
             .begin_transaction(&built.txn, grant.start, &self.config.timing)
             .expect("idle chip accepted the transaction");
+        self.occupancy[chip_index].busy = true;
 
         for member in &built.members {
             if let Some(request) = self.mem_requests.get_mut(member) {
@@ -532,6 +541,7 @@ impl Ssd {
             return;
         };
         self.chips[live.chip].complete_transaction(now);
+        self.occupancy[live.chip].busy = false;
         self.metrics.record_transaction(
             live.level,
             live.request_count,
@@ -572,12 +582,15 @@ impl Ssd {
         request.completed_at = now;
         if !request.gc {
             let chip = request.placement.chip;
-            self.outstanding_per_chip[chip] = self.outstanding_per_chip[chip].saturating_sub(1);
+            self.occupancy[chip].outstanding = self.occupancy[chip].outstanding.saturating_sub(1);
         }
         if let Some(tag_id) = request.tag {
             let mut finished: Option<(HostRequest, SimTime)> = None;
-            if let Some(tag) = self.queue.tag_mut(tag_id) {
-                tag.mark_completed(request.page_index);
+            if self.queue.complete_page(tag_id, request.page_index) {
+                let tag = self
+                    .queue
+                    .tag(tag_id)
+                    .expect("completed page belongs to a queued tag");
                 if tag.fully_committed() && tag.fully_completed() {
                     finished = Some((tag.host, now));
                 }
@@ -660,19 +673,7 @@ impl Ssd {
 
     fn refresh_placements(&mut self, lpn: Lpn) {
         let preview = self.ftl.preview(lpn, Direction::Read);
-        let tags: Vec<TagId> = self.queue.tags_in_order().collect();
-        for tag_id in tags {
-            if let Some(tag) = self.queue.tag_mut(tag_id) {
-                let start = tag.host.start_lpn.value();
-                let end = start + tag.host.pages as u64;
-                if (start..end).contains(&lpn.value()) {
-                    let page = (lpn.value() - start) as usize;
-                    if !tag.committed[page] {
-                        tag.placements[page] = preview;
-                    }
-                }
-            }
-        }
+        self.queue.refresh_placements(lpn.value(), preview);
     }
 
     fn gc_delivery(&mut self, id: MemReqId, addr: PhysicalPageAddr, op: FlashOp, now: SimTime) {

@@ -2,43 +2,21 @@
 //! the SSD grows from 16 to 1024 chips, under the conventional controller (VAS)
 //! and under Sprinkler (SPK3).
 //!
+//! This drives the first-class experiment in
+//! `sprinkler_experiments::fig15_scaling`; the quick scale keeps the run in the
+//! seconds range while covering the full 1024-chip point.  Regenerate at paper
+//! scale with `ExperimentScale::full()` (see the README's "Scaling" section).
+//!
 //! Run with `cargo run --example scaling_study --release`.
 
-use sprinkler::core::SchedulerKind;
-use sprinkler::experiments::runner::{run_one, ExperimentScale};
-use sprinkler::ssd::SsdConfig;
+use sprinkler::experiments::fig15_scaling;
+use sprinkler::experiments::runner::ExperimentScale;
 
 fn main() {
-    let scale = ExperimentScale {
-        ios_per_workload: 400,
-        blocks_per_plane: 32,
-    };
-    let chip_counts = [16usize, 64, 256, 1024];
-    let transfer_sizes_kb = [4u64, 32, 128];
-
-    for &transfer_kb in &transfer_sizes_kb {
-        println!("=== transfer size {transfer_kb} KB ===");
-        println!(
-            "{:>8} {:>8} {:>14} {:>12} | {:>14} {:>12}",
-            "chips", "dies", "VAS KB/s", "VAS util", "SPK3 KB/s", "SPK3 util"
-        );
-        for &chips in &chip_counts {
-            let config = SsdConfig::paper_default()
-                .with_chip_count(chips)
-                .with_blocks_per_plane(scale.blocks_per_plane);
-            let trace = scale.sweep_trace(transfer_kb, 1.0, 0x5CA1E);
-            let vas = run_one(&config, SchedulerKind::Vas, &trace);
-            let spk3 = run_one(&config, SchedulerKind::Spk3, &trace);
-            println!(
-                "{:>8} {:>8} {:>14.0} {:>11.1}% | {:>14.0} {:>11.1}%",
-                chips,
-                chips * config.geometry.dies_per_chip,
-                vas.bandwidth_kb_per_sec,
-                vas.chip_utilization * 100.0,
-                spk3.bandwidth_kb_per_sec,
-                spk3.chip_utilization * 100.0
-            );
-        }
+    let scale = ExperimentScale::quick();
+    let result = fig15_scaling::run(&scale, None, None);
+    for &transfer_kb in &result.transfer_sizes_kb.clone() {
+        println!("{}", result.panel(transfer_kb).render());
         println!();
     }
     println!("The conventional controller stagnates (Fig 1); Sprinkler keeps scaling (Fig 15).");

@@ -2,8 +2,15 @@
 //! completion, and produce output. This keeps the examples from rotting as the
 //! API evolves — an example that no longer compiles fails this test, not a
 //! human following the docs.
+//!
+//! Also smoke-runs the 1024-chip point of the scaling experiment directly (in
+//! this process, at quick scale) so the paper's largest configuration stays
+//! exercised by `cargo test` even where spawning `cargo run` is too slow.
 
 use std::process::Command;
+
+use sprinkler::experiments::fig15_scaling;
+use sprinkler::experiments::runner::ExperimentScale;
 
 /// Every file in `examples/`, kept in sync by `covers_every_example_file`.
 const EXAMPLES: [&str; 5] = [
@@ -37,6 +44,27 @@ fn every_example_runs_to_completion() {
             "example {example} printed nothing to stdout"
         );
     }
+}
+
+/// The paper's largest configuration — 1024 chips — runs as a first-class
+/// experiment point at quick scale: both schedulers complete the sweep point and
+/// report sane metrics.
+#[test]
+fn scaling_1024_chip_point_runs_at_quick_scale() {
+    let scale = ExperimentScale::quick();
+    let result = fig15_scaling::run(&scale, Some(&[1024]), Some(&[64]));
+    assert_eq!(result.points.len(), 2, "one point per scheduler");
+    for point in &result.points {
+        assert_eq!(point.chips, 1024);
+        assert!(
+            point.bandwidth_kb_per_sec > 0.0,
+            "{} produced no bandwidth",
+            point.scheduler
+        );
+        assert!((0.0..=1.0).contains(&point.utilization));
+        assert!(point.iops > 0.0);
+    }
+    assert!(result.panel(64).render().contains("1024"));
 }
 
 /// The EXAMPLES list above must name exactly the files in `examples/`.

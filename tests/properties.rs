@@ -1,13 +1,17 @@
 //! Property-based tests over the public API: invariants that must hold for any
 //! workload the generators can produce.
 
+use std::sync::{Arc, Mutex};
+
 use proptest::prelude::*;
 
+use sprinkler::core::reference::ReferenceScheduler;
 use sprinkler::core::SchedulerKind;
 use sprinkler::flash::{FlashGeometry, Lpn};
 use sprinkler::sim::SimTime;
-use sprinkler::ssd::request::{Direction, HostRequest};
-use sprinkler::ssd::{Ssd, SsdConfig};
+use sprinkler::ssd::request::{Direction, HostRequest, TagId};
+use sprinkler::ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
+use sprinkler::ssd::{RunMetrics, Ssd, SsdConfig};
 use sprinkler::workloads::{Locality, SyntheticSpec};
 
 fn arb_direction() -> impl Strategy<Value = Direction> {
@@ -15,23 +19,93 @@ fn arb_direction() -> impl Strategy<Value = Direction> {
 }
 
 fn arb_requests(max: usize) -> impl Strategy<Value = Vec<HostRequest>> {
-    prop::collection::vec((0u64..2000, arb_direction(), 0u64..512, 1u32..24), 1..max).prop_map(
-        |specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (at, dir, lpn, pages))| {
-                    HostRequest::new(
-                        i as u64,
-                        SimTime::from_micros(at),
-                        dir,
-                        Lpn::new(lpn),
-                        pages,
-                    )
-                })
-                .collect()
-        },
+    prop::collection::vec(
+        (0u64..2000, arb_direction(), 0u64..512, 1u32..24, 0u8..16),
+        1..max,
     )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, dir, lpn, pages, fua))| {
+                HostRequest::new(
+                    i as u64,
+                    SimTime::from_micros(at),
+                    dir,
+                    Lpn::new(lpn),
+                    pages,
+                )
+                .with_fua(fua == 0)
+            })
+            .collect()
+    })
+}
+
+/// A shared log of (tag, page) commitments, filled as the simulation runs.
+type CommitmentLog = Arc<Mutex<Vec<(TagId, u32)>>>;
+
+/// Wraps a scheduler and records every commitment it emits, so two runs can be
+/// compared decision by decision.
+#[derive(Debug)]
+struct RecordingScheduler {
+    inner: Box<dyn IoScheduler>,
+    log: CommitmentLog,
+}
+
+impl RecordingScheduler {
+    fn new(inner: Box<dyn IoScheduler>) -> (Self, CommitmentLog) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (
+            RecordingScheduler {
+                inner,
+                log: Arc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl IoScheduler for RecordingScheduler {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn initialize(&mut self, geometry: &FlashGeometry) {
+        self.inner.initialize(geometry);
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let out = self.inner.schedule(ctx);
+        let mut log = self.log.lock().unwrap();
+        log.extend(out.iter().map(|c| (c.tag, c.page)));
+        out
+    }
+
+    fn on_complete(&mut self, tag: TagId, page: u32) {
+        self.inner.on_complete(tag, page);
+    }
+
+    fn supports_readdressing(&self) -> bool {
+        self.inner.supports_readdressing()
+    }
+
+    fn on_readdress(&mut self, migration: &sprinkler::ssd::ftl::PageMigration) {
+        self.inner.on_readdress(migration);
+    }
+}
+
+/// Runs a trace under a scheduler and returns the metrics plus the exact
+/// commitment stream the scheduler produced.
+fn run_recorded(
+    config: &SsdConfig,
+    scheduler: Box<dyn IoScheduler>,
+    requests: &[HostRequest],
+) -> (RunMetrics, Vec<(TagId, u32)>) {
+    let (recording, log) = RecordingScheduler::new(scheduler);
+    let ssd = Ssd::new(config.clone(), Box::new(recording)).unwrap();
+    let metrics = ssd.run(requests.to_vec());
+    let stream = log.lock().unwrap().clone();
+    (metrics, stream)
 }
 
 proptest! {
@@ -112,6 +186,36 @@ proptest! {
         let addr = geometry.addr_of(ppn);
         prop_assert!(geometry.check_addr(addr).is_ok());
         prop_assert_eq!(geometry.ppn_of(addr), ppn);
+    }
+
+    /// Differential test for the scheduler hot-path refactor: every optimized
+    /// scheduler (index-driven hazard checks, incremental per-chip candidates,
+    /// reusable scratch buffers) must produce *commitment streams byte-identical*
+    /// to its naive full-scan reference twin, and agree exactly on I/O and byte
+    /// accounting, across random traces with mixed directions, sizes, and FUA
+    /// barriers.
+    #[test]
+    fn refactored_schedulers_match_their_reference_twins(
+        requests in arb_requests(40),
+        scheduler_index in 0usize..5,
+    ) {
+        let kind = SchedulerKind::ALL[scheduler_index];
+        let config = SsdConfig::small_test();
+        let (fast_metrics, fast_stream) = run_recorded(&config, kind.build(), &requests);
+        let (ref_metrics, ref_stream) =
+            run_recorded(&config, Box::new(ReferenceScheduler::new(kind)), &requests);
+        prop_assert_eq!(
+            &fast_stream,
+            &ref_stream,
+            "{} commitment stream diverges from its reference",
+            kind
+        );
+        prop_assert_eq!(fast_metrics.io_count, ref_metrics.io_count);
+        prop_assert_eq!(fast_metrics.memory_requests, ref_metrics.memory_requests);
+        prop_assert_eq!(fast_metrics.bytes_read, ref_metrics.bytes_read);
+        prop_assert_eq!(fast_metrics.bytes_written, ref_metrics.bytes_written);
+        prop_assert_eq!(fast_metrics.transactions, ref_metrics.transactions);
+        prop_assert_eq!(fast_metrics.avg_latency_ns, ref_metrics.avg_latency_ns);
     }
 
     /// Synthetic traces always respect their configured footprint and sizes.
