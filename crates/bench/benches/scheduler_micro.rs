@@ -14,71 +14,20 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sprinkler_bench::representative_run;
 use sprinkler_core::reference::ReferenceScheduler;
 use sprinkler_core::SchedulerKind;
-use sprinkler_flash::{FlashGeometry, Lpn};
+use sprinkler_experiments::micro::standing_scene;
 use sprinkler_sim::SimTime;
-use sprinkler_ssd::queue::DeviceQueue;
-use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
 use sprinkler_ssd::scheduler::{IoScheduler, SchedulerContext};
-use sprinkler_ssd::ChipOccupancy;
-
-/// A standing steady-state scheduling scene: a full 32-deep queue of 256-page
-/// tags striped over `chips` chips, with all but the last four pages of every
-/// tag already committed — the shape a mid-simulation round sees, where the
-/// seed's full-queue scans walk thousands of committed bitmap slots to find a
-/// handful of schedulable pages.  Read/write LPN ranges overlap so the §4.4
-/// write-after-read checks stay hot.
-fn standing_scene(chips: usize) -> (FlashGeometry, DeviceQueue, Vec<ChipOccupancy>) {
-    const PAGES: u32 = 256;
-    let geometry = FlashGeometry::paper_default().with_chip_count(chips);
-    let mut queue = DeviceQueue::new(32);
-    for t in 0..32u64 {
-        let dir = if t.is_multiple_of(3) {
-            Direction::Write
-        } else {
-            Direction::Read
-        };
-        let host = HostRequest::new(t, SimTime::ZERO, dir, Lpn::new(t * 8), PAGES);
-        let placements = (0..PAGES as usize)
-            .map(|i| {
-                let chip = (t as usize * 37 + i * 13) % chips;
-                let loc = geometry.chip_location(chip);
-                Placement {
-                    chip,
-                    channel: loc.channel,
-                    way: loc.way,
-                    die: (i % 2) as u32,
-                    plane: (i % 4) as u32,
-                }
-            })
-            .collect();
-        assert!(queue.admit(TagId(t), host, SimTime::ZERO, placements));
-    }
-    for t in 0..32u64 {
-        for page in 0..PAGES - 4 {
-            assert!(queue.commit_page(TagId(t), page, SimTime::ZERO));
-        }
-    }
-    let occupancy = (0..chips)
-        .map(|chip| ChipOccupancy {
-            chip,
-            busy: false,
-            outstanding: 0,
-        })
-        .collect();
-    (geometry, queue, occupancy)
-}
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_rounds");
     group.sample_size(10);
     for chips in [256usize, 1024] {
-        let (geometry, queue, occupancy) = standing_scene(chips);
+        let (geometry, queue, ledger) = standing_scene(chips);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue: &queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 32,
+            ledger: &ledger,
         };
         for kind in [SchedulerKind::Spk2, SchedulerKind::Spk3] {
             let mut fast = kind.build();

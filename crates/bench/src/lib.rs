@@ -5,28 +5,21 @@
 //! the underlying simulation so regressions in simulator performance are visible.
 
 use sprinkler_core::SchedulerKind;
-use sprinkler_experiments::runner::{run_one, ExperimentScale};
-use sprinkler_ssd::{RunMetrics, SsdConfig};
-use sprinkler_workloads::SyntheticSpec;
+use sprinkler_experiments::runner::ExperimentScale;
+use sprinkler_ssd::RunMetrics;
 
 /// The scale used by bench targets: small enough that `cargo bench` finishes in
 /// minutes, large enough that every qualitative trend of the paper still shows.
+/// Shared with `regen_baselines` via `sprinkler_experiments::micro` so the
+/// committed baselines always describe the scene `cargo bench` times.
 pub fn bench_scale() -> ExperimentScale {
-    ExperimentScale {
-        ios_per_workload: 200,
-        blocks_per_plane: 32,
-    }
+    sprinkler_experiments::micro::bench_scale()
 }
 
-/// A single small simulation run used as the Criterion measurement body.
+/// A single small simulation run used as the Criterion measurement body (the
+/// shared recipe from `sprinkler_experiments::micro`).
 pub fn representative_run(kind: SchedulerKind) -> RunMetrics {
-    let scale = bench_scale();
-    let config = SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane);
-    let trace = SyntheticSpec::new("bench")
-        .with_read_fraction(0.7)
-        .with_mean_sizes_kb(16.0, 16.0)
-        .generate(120, 0xBE);
-    run_one(&config, kind, &trace)
+    sprinkler_experiments::micro::representative_run(kind)
 }
 
 #[cfg(test)]

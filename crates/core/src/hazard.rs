@@ -91,7 +91,7 @@ mod tests {
     use sprinkler_sim::SimTime;
     use sprinkler_ssd::queue::DeviceQueue;
     use sprinkler_ssd::request::{Direction, HostRequest, Placement};
-    use sprinkler_ssd::ChipOccupancy;
+    use sprinkler_ssd::CommitmentLedger;
 
     fn placement(chip: usize) -> Placement {
         Placement {
@@ -111,19 +111,12 @@ mod tests {
 
     fn with_ctx<R>(queue: &DeviceQueue, f: impl FnOnce(&SchedulerContext<'_>) -> R) -> R {
         let geometry = FlashGeometry::small_test();
-        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
-            .map(|chip| ChipOccupancy {
-                chip,
-                busy: false,
-                outstanding: 0,
-            })
-            .collect();
+        let ledger = CommitmentLedger::new(geometry.total_chips(), 8);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 8,
+            ledger: &ledger,
         };
         f(&ctx)
     }

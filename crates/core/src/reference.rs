@@ -16,6 +16,12 @@
 //! The reference implements the same §4.4 hazard policy as the optimized
 //! schedulers: a write-after-read conflict defers only the blocked page, on
 //! every composition path.
+//!
+//! Both twins schedule against the corrected commitment accounting of
+//! [`sprinkler_ssd::ledger::CommitmentLedger`]: per-chip headroom within a
+//! round is the full `max_committed_per_chip` — `outstanding` counts every
+//! same-round commit exactly once, so neither side compensates for the seed's
+//! double-charge.
 
 use sprinkler_flash::FlashGeometry;
 use sprinkler_ssd::request::TagId;
@@ -94,7 +100,7 @@ impl ReferenceScheduler {
             SchedulerKind::Vas | SchedulerKind::Pas | SchedulerKind::Spk2 => 1,
             SchedulerKind::Spk1 | SchedulerKind::Spk3 => self.faro.overcommit_depth(),
         };
-        depth.min(ctx.max_committed_per_chip)
+        depth.min(ctx.max_committed_per_chip())
     }
 
     /// In-order composition (VAS, PAS, SPK1): walk tags in arrival order; a chip
@@ -232,7 +238,7 @@ mod tests {
     use sprinkler_sim::SimTime;
     use sprinkler_ssd::queue::DeviceQueue;
     use sprinkler_ssd::request::{Direction, HostRequest, Placement};
-    use sprinkler_ssd::ChipOccupancy;
+    use sprinkler_ssd::CommitmentLedger;
 
     fn admit(queue: &mut DeviceQueue, id: u64, dir: Direction, lpn: u64, chips: &[usize]) {
         let host = HostRequest::new(id, SimTime::ZERO, dir, Lpn::new(lpn), chips.len() as u32);
@@ -251,19 +257,12 @@ mod tests {
 
     fn schedule(kind: SchedulerKind, queue: &DeviceQueue) -> Vec<Commitment> {
         let geometry = FlashGeometry::small_test();
-        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
-            .map(|chip| ChipOccupancy {
-                chip,
-                busy: false,
-                outstanding: 0,
-            })
-            .collect();
+        let ledger = CommitmentLedger::new(geometry.total_chips(), 8);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 8,
+            ledger: &ledger,
         };
         let mut reference = ReferenceScheduler::new(kind);
         reference.initialize(&geometry);
@@ -282,19 +281,12 @@ mod tests {
         admit(&mut queue, 2, Direction::Read, 20, &[0, 2]);
 
         let geometry = FlashGeometry::small_test();
-        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
-            .map(|chip| ChipOccupancy {
-                chip,
-                busy: false,
-                outstanding: 0,
-            })
-            .collect();
+        let ledger = CommitmentLedger::new(geometry.total_chips(), 8);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue: &queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 8,
+            ledger: &ledger,
         };
 
         let mut optimized: Vec<Box<dyn IoScheduler>> = vec![
@@ -331,19 +323,12 @@ mod tests {
         admit(&mut queue, 0, Direction::Read, 100, &[0, 1]);
         admit(&mut queue, 1, Direction::Write, 101, &[2]);
         let geometry = FlashGeometry::small_test();
-        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
-            .map(|chip| ChipOccupancy {
-                chip,
-                busy: false,
-                outstanding: 0,
-            })
-            .collect();
+        let ledger = CommitmentLedger::new(geometry.total_chips(), 8);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue: &queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 8,
+            ledger: &ledger,
         };
         assert_eq!(horizon(&ctx), 2);
         assert!(write_after_read_blocked(&ctx, TagId(1), 101));

@@ -114,7 +114,7 @@ impl SprinklerScheduler {
     /// SPK1 path: in-order composition (the parallelism dependency remains) but
     /// with over-commitment so controllers can still build high-FLP transactions.
     fn schedule_in_order(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
-        let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip);
+        let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip());
         if self.newly.len() < ctx.chip_count() {
             self.newly.resize(ctx.chip_count(), 0);
         }
@@ -163,7 +163,7 @@ impl SprinklerScheduler {
     /// order, committing up to the per-chip capacity; FARO decides which
     /// candidates win when there are more than fit.
     fn schedule_resource_driven(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
-        let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip);
+        let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip());
         let bound = self.hazards.horizon_seq(ctx);
         let chip_count = ctx.chip_count();
 
@@ -290,7 +290,7 @@ mod tests {
     use sprinkler_sim::SimTime;
     use sprinkler_ssd::queue::DeviceQueue;
     use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
-    use sprinkler_ssd::ChipOccupancy;
+    use sprinkler_ssd::CommitmentLedger;
 
     fn admit(queue: &mut DeviceQueue, id: u64, dir: Direction, placements: Vec<(usize, u32, u32)>) {
         let host = HostRequest::new(
@@ -320,21 +320,15 @@ mod tests {
     ) -> Vec<Commitment> {
         let geometry = FlashGeometry::small_test();
         scheduler.initialize(&geometry);
-        let occupancy: Vec<ChipOccupancy> = outstanding
-            .iter()
-            .enumerate()
-            .map(|(chip, &n)| ChipOccupancy {
-                chip,
-                busy: n > 0,
-                outstanding: n,
-            })
-            .collect();
+        let mut ledger = CommitmentLedger::from_outstanding(32, outstanding);
+        for (chip, &n) in outstanding.iter().enumerate() {
+            ledger.set_busy(chip, n > 0);
+        }
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 32,
+            ledger: &ledger,
         };
         scheduler.schedule(&ctx)
     }

@@ -75,7 +75,7 @@ mod tests {
     use sprinkler_sim::SimTime;
     use sprinkler_ssd::queue::DeviceQueue;
     use sprinkler_ssd::request::{Direction, HostRequest, Placement, TagId};
-    use sprinkler_ssd::ChipOccupancy;
+    use sprinkler_ssd::CommitmentLedger;
 
     fn admit_with_chips(queue: &mut DeviceQueue, id: u64, chips: &[usize]) {
         let host = HostRequest::new(
@@ -100,21 +100,15 @@ mod tests {
 
     fn schedule(queue: &DeviceQueue, outstanding: &[usize]) -> Vec<Commitment> {
         let geometry = FlashGeometry::small_test();
-        let occupancy: Vec<ChipOccupancy> = outstanding
-            .iter()
-            .enumerate()
-            .map(|(chip, &n)| ChipOccupancy {
-                chip,
-                busy: n > 0,
-                outstanding: n,
-            })
-            .collect();
+        let mut ledger = CommitmentLedger::from_outstanding(8, outstanding);
+        for (chip, &n) in outstanding.iter().enumerate() {
+            ledger.set_busy(chip, n > 0);
+        }
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             geometry: &geometry,
             queue,
-            occupancy: &occupancy,
-            max_committed_per_chip: 8,
+            ledger: &ledger,
         };
         VirtualAddressScheduler::new().schedule(&ctx)
     }

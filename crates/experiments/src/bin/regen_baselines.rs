@@ -1,0 +1,309 @@
+//! Regenerates the repository benchmark baselines (`BENCH_seed.json` and
+//! `BENCH_scaling.json`) through the parallel experiment runner, so that
+//! commitment-stream-changing PRs can refresh every baseline with one command
+//! instead of hand-running each bench target:
+//!
+//! ```sh
+//! cargo run --release -p sprinkler_experiments --bin regen_baselines -- \
+//!     --label "PR N: what changed the streams"
+//! ```
+//!
+//! `--label` stamps the rewritten files with the change they baseline (an
+//! unlabeled run says so in the output).  With `--quick`, runs the quick-scale
+//! fig10 panel and a reduced scaling panel through the same parallel path and
+//! prints the tables without writing any file — the CI smoke mode that keeps
+//! the fan-out code exercised.
+
+use std::time::Instant;
+
+use sprinkler_core::reference::ReferenceScheduler;
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::micro::{bench_scale, representative_run, standing_scene};
+use sprinkler_experiments::runner::ExperimentScale;
+use sprinkler_experiments::{fig10, fig15_scaling};
+use sprinkler_sim::SimTime;
+use sprinkler_ssd::scheduler::{IoScheduler, SchedulerContext};
+
+/// Matches the vendored criterion shim: one untimed warmup, then `samples`
+/// timed iterations.
+const SAMPLES: usize = 10;
+
+struct Timing {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn time_runs(mut body: impl FnMut()) -> Timing {
+    body(); // warmup
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        body();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    let sum: f64 = samples.iter().sum();
+    Timing {
+        mean_ns: sum / samples.len() as f64,
+        min_ns: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_ns: samples.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+/// Escapes a string for interpolation into a JSON string literal.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn time_round(scheduler: &mut dyn IoScheduler, chips: usize) -> Timing {
+    let (geometry, queue, ledger) = standing_scene(chips);
+    scheduler.initialize(&geometry);
+    let ctx = SchedulerContext {
+        now: SimTime::ZERO,
+        geometry: &geometry,
+        queue: &queue,
+        ledger: &ledger,
+    };
+    time_runs(|| {
+        std::hint::black_box(scheduler.schedule(&ctx));
+    })
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn today() -> String {
+    // Derive a calendar date from the system clock without chrono: civil-date
+    // conversion of days since the Unix epoch (Howard Hinnant's algorithm).
+    let days = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() / 86_400)
+        .unwrap_or(0) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn regen_seed_baseline(label: &str, date: &str) -> String {
+    println!("== BENCH_seed.json: fig10 at bench scale ==");
+    let spk3 = time_runs(|| {
+        std::hint::black_box(representative_run(SchedulerKind::Spk3));
+    });
+    println!("fig10/spk3_run mean {:.1} ns", spk3.mean_ns);
+
+    let start = Instant::now();
+    let comparison = fig10::run(&bench_scale(), None);
+    let panel_s = start.elapsed().as_secs_f64();
+    let bandwidth_x = comparison.bandwidth_speedup(SchedulerKind::Spk3, SchedulerKind::Vas);
+    let latency_pct = 100.0 * comparison.latency_reduction(SchedulerKind::Spk3, SchedulerKind::Vas);
+    println!(
+        "fig10 panel ({} cells, parallel): {panel_s:.2} s; SPK3/VAS bandwidth {bandwidth_x:.2}x, latency -{latency_pct:.1}%",
+        comparison.cells.len()
+    );
+
+    format!(
+        r#"{{
+  "baseline": "{label}",
+  "date": "{date}",
+  "command": "cargo run --release -p sprinkler_experiments --bin regen_baselines -- --label '...'",
+  "scale": {{
+    "ios_per_workload": 200,
+    "blocks_per_plane": 32,
+    "note": "bench scale; the timed body is the 120-I/O representative_run recipe of sprinkler_bench"
+  }},
+  "profile": "release, 1 untimed warmup then {SAMPLES} timed iterations (regen_baselines)",
+  "results": [
+    {{
+      "bench": "fig10/spk3_run",
+      "mean_ns": {mean:.1},
+      "min_ns": {min:.1},
+      "max_ns": {max:.1},
+      "samples": {SAMPLES}
+    }}
+  ],
+  "figure_check": {{
+    "spk3_vs_vas_bandwidth_x": {bandwidth_x:.2},
+    "paper_range_x": [1.8, 2.2],
+    "spk3_vs_vas_latency_reduction_pct": {latency_pct:.1},
+    "paper_min_pct": 56.6,
+    "fig10_panel_wall_clock_s": {panel_s:.2},
+    "note": "bench-scale run overshoots the paper's bandwidth ratio; directionally correct"
+  }}
+}}
+"#,
+        mean = spk3.mean_ns,
+        min = spk3.min_ns,
+        max = spk3.max_ns,
+    )
+}
+
+fn regen_scaling_baseline(label: &str, date: &str) -> String {
+    let scale = bench_scale();
+    println!("== BENCH_scaling.json: scaling_1024 + scheduler_rounds ==");
+    let mut scaling_results = String::new();
+    for (i, kind) in [SchedulerKind::Vas, SchedulerKind::Spk3].iter().enumerate() {
+        let timing = time_runs(|| {
+            std::hint::black_box(fig15_scaling::run_point(&scale, 1024, 32, *kind));
+        });
+        println!(
+            "scaling_1024/{}_1024chips_32kb mean {:.1} ns",
+            kind.label(),
+            timing.mean_ns
+        );
+        if i > 0 {
+            scaling_results.push_str(",\n");
+        }
+        scaling_results.push_str(&format!(
+            r#"      {{ "bench": "scaling_1024/{}_1024chips_32kb", "mean_ns": {:.1}, "samples": {SAMPLES} }}"#,
+            kind.label(),
+            timing.mean_ns
+        ));
+    }
+
+    let mut rounds_results = String::new();
+    let mut speedups = String::new();
+    for (i, &chips) in [256usize, 1024].iter().enumerate() {
+        for (j, kind) in [SchedulerKind::Spk2, SchedulerKind::Spk3]
+            .iter()
+            .enumerate()
+        {
+            let fast = time_round(kind.build().as_mut(), chips);
+            let mut reference = ReferenceScheduler::new(*kind);
+            let naive = time_round(&mut reference, chips);
+            println!(
+                "scheduler_rounds/{}_{chips}chips mean {:.1} ns (reference {:.1} ns)",
+                kind.label(),
+                fast.mean_ns,
+                naive.mean_ns
+            );
+            if i > 0 || j > 0 {
+                rounds_results.push_str(",\n");
+                speedups.push_str(",\n");
+            }
+            rounds_results.push_str(&format!(
+                r#"      {{ "bench": "scheduler_rounds/{label}_{chips}chips", "mean_ns": {:.1} }},
+      {{ "bench": "scheduler_rounds/{label}ref_{chips}chips", "mean_ns": {:.1} }}"#,
+                fast.mean_ns,
+                naive.mean_ns,
+                label = kind.label(),
+            ));
+            speedups.push_str(&format!(
+                r#"      "{}_{chips}chips_x": {:.1}"#,
+                kind.label(),
+                naive.mean_ns / fast.mean_ns
+            ));
+        }
+    }
+
+    let start = Instant::now();
+    let result = fig15_scaling::run(&ExperimentScale::full(), None, None);
+    let full_s = start.elapsed().as_secs_f64();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "fig15_scaling full panel ({} points, {workers} workers): {full_s:.2} s",
+        result.points.len()
+    );
+
+    format!(
+        r#"{{
+  "baseline": "{label}",
+  "date": "{date}",
+  "command": "cargo run --release -p sprinkler_experiments --bin regen_baselines -- --label '...'",
+  "profile": "release, 1 untimed warmup then {SAMPLES} timed iterations (regen_baselines)",
+  "scaling_1024": {{
+    "scale": {{ "ios_per_workload": 200, "blocks_per_plane": 32, "transfer_kb": 32 }},
+    "results": [
+{scaling_results}
+    ]
+  }},
+  "scheduler_rounds": {{
+    "scene": "standing 32-deep queue of 256-page tags, all but 4 pages per tag committed (steady-state round shape), overlapping read/write LPN ranges",
+    "note": "SPKn = optimized index-driven path; SPKnref = full-scan reference twin; both against the CommitmentLedger semantics",
+    "results": [
+{rounds_results}
+    ],
+    "round_speedup_vs_reference": {{
+{speedups}
+    }}
+  }},
+  "full_scale_sweep_point": {{
+    "note": "fig15_scaling at ExperimentScale::full() (2000 I/Os, 64 blocks/plane), all 4 chip counts x 3 transfer panels x 2 schedulers, via the parallel cell runner",
+    "wall_clock_s": {full_s:.2},
+    "worker_threads": {workers},
+    "budget_s": 60
+  }}
+}}
+"#,
+    )
+}
+
+fn quick_smoke() {
+    let scale = ExperimentScale::quick();
+    let start = Instant::now();
+    let comparison = fig10::run(&scale, Some(4));
+    println!(
+        "quick fig10 panel via parallel runner: {} cells in {:.2} s",
+        comparison.cells.len(),
+        start.elapsed().as_secs_f64()
+    );
+    println!("{}", comparison.bandwidth_table().render());
+    assert!(
+        comparison.bandwidth_speedup(SchedulerKind::Spk3, SchedulerKind::Vas) > 1.0,
+        "SPK3 must beat VAS at quick scale"
+    );
+
+    let start = Instant::now();
+    let result = fig15_scaling::run(&scale, Some(&[16, 64]), Some(&[32]));
+    println!(
+        "quick scaling panel via parallel runner: {} points in {:.2} s",
+        result.points.len(),
+        start.elapsed().as_secs_f64()
+    );
+    println!("{}", result.panel(32).render());
+    println!("quick smoke OK (no baseline files written)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|arg| arg == "--quick") {
+        quick_smoke();
+        return;
+    }
+    let date = today();
+    // Every committed re-baseline should say which change it belongs to; an
+    // unlabeled run is still usable but self-identifies as such.
+    let label = json_escape(
+        &args
+            .iter()
+            .position(|arg| arg == "--label")
+            .and_then(|at| args.get(at + 1))
+            .cloned()
+            .unwrap_or_else(|| {
+                format!("unlabeled regen_baselines run ({date}); pass --label '<PR description>'")
+            }),
+    );
+    let root = workspace_root();
+    let seed = regen_seed_baseline(&label, &date);
+    std::fs::write(root.join("BENCH_seed.json"), seed).expect("write BENCH_seed.json");
+    let scaling = regen_scaling_baseline(&label, &date);
+    std::fs::write(root.join("BENCH_scaling.json"), scaling).expect("write BENCH_scaling.json");
+    println!("rewrote BENCH_seed.json and BENCH_scaling.json ({label})");
+}

@@ -6,7 +6,7 @@ use sprinkler_core::SchedulerKind;
 use sprinkler_ssd::SsdConfig;
 
 use crate::report::{fmt_pct, Table};
-use crate::runner::{run_one, ExperimentScale};
+use crate::runner::{run_cells, run_one, ExperimentScale};
 
 /// The schedulers Fig 15 plots.
 pub const FIG15_SCHEDULERS: [SchedulerKind; 4] = [
@@ -44,28 +44,39 @@ pub struct Fig15Result {
 }
 
 /// Runs the sweep.  `chip_counts` defaults to the paper's 64/256/1024 panels when
-/// `None`; pass a subset for quicker runs.
+/// `None`; pass a subset for quicker runs.  The (chip-count × transfer ×
+/// scheduler) cells are independent simulations and fan out over [`run_cells`];
+/// point order matches the serial loop.
 pub fn run(scale: &ExperimentScale, chip_counts: Option<&[usize]>) -> Fig15Result {
     let chip_counts: Vec<usize> = chip_counts.unwrap_or(&CHIP_COUNTS).to_vec();
     let transfer_sizes = scale.sweep_sizes_kb();
-    let mut points = Vec::new();
-    for &chips in &chip_counts {
+    // One trace per transfer size, shared by every (chips, scheduler) cell.
+    let traces: Vec<_> = transfer_sizes
+        .iter()
+        .map(|&transfer_kb| (transfer_kb, scale.sweep_trace(transfer_kb, 1.0, 0xF15)))
+        .collect();
+    let cells: Vec<(usize, &(u64, sprinkler_workloads::Trace), SchedulerKind)> = chip_counts
+        .iter()
+        .flat_map(|&chips| {
+            traces.iter().flat_map(move |trace| {
+                FIG15_SCHEDULERS
+                    .iter()
+                    .map(move |&scheduler| (chips, trace, scheduler))
+            })
+        })
+        .collect();
+    let points = run_cells(&cells, |&(chips, (transfer_kb, trace), scheduler)| {
         let config = SsdConfig::paper_default()
             .with_chip_count(chips)
             .with_blocks_per_plane(scale.blocks_per_plane);
-        for &transfer_kb in &transfer_sizes {
-            let trace = scale.sweep_trace(transfer_kb, 1.0, 0xF15);
-            for &scheduler in &FIG15_SCHEDULERS {
-                let metrics = run_one(&config, scheduler, &trace);
-                points.push(Fig15Point {
-                    chips,
-                    transfer_kb,
-                    scheduler,
-                    utilization: metrics.chip_utilization,
-                });
-            }
+        let metrics = run_one(&config, scheduler, trace);
+        Fig15Point {
+            chips,
+            transfer_kb: *transfer_kb,
+            scheduler,
+            utilization: metrics.chip_utilization,
         }
-    }
+    });
     Fig15Result {
         points,
         transfer_sizes_kb: transfer_sizes,

@@ -16,7 +16,7 @@ use sprinkler_core::SchedulerKind;
 use sprinkler_ssd::SsdConfig;
 
 use crate::report::{fmt_f64, fmt_pct, Table};
-use crate::runner::{run_one, ExperimentScale};
+use crate::runner::{run_cells, run_one, ExperimentScale};
 
 /// The schedulers the scaling sweep compares.
 pub const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Vas, SchedulerKind::Spk3];
@@ -78,7 +78,9 @@ pub fn run_point(
 }
 
 /// Runs the sweep.  `chip_counts` and `transfer_sizes_kb` default to the full
-/// 16→1024 panels when `None`; pass subsets for quicker runs.
+/// 16→1024 panels when `None`; pass subsets for quicker runs.  Every
+/// (transfer × chip-count × scheduler) cell is an independent simulation, so
+/// the sweep fans out over [`run_cells`]; point order matches the serial loop.
 pub fn run(
     scale: &ExperimentScale,
     chip_counts: Option<&[usize]>,
@@ -86,14 +88,19 @@ pub fn run(
 ) -> ScalingResult {
     let chip_counts: Vec<usize> = chip_counts.unwrap_or(&CHIP_COUNTS).to_vec();
     let transfer_sizes_kb: Vec<u64> = transfer_sizes_kb.unwrap_or(&TRANSFER_SIZES_KB).to_vec();
-    let mut points = Vec::new();
-    for &transfer_kb in &transfer_sizes_kb {
-        for &chips in &chip_counts {
-            for &scheduler in &SCHEDULERS {
-                points.push(run_point(scale, chips, transfer_kb, scheduler));
-            }
-        }
-    }
+    let cells: Vec<(u64, usize, SchedulerKind)> = transfer_sizes_kb
+        .iter()
+        .flat_map(|&transfer_kb| {
+            chip_counts.iter().flat_map(move |&chips| {
+                SCHEDULERS
+                    .iter()
+                    .map(move |&scheduler| (transfer_kb, chips, scheduler))
+            })
+        })
+        .collect();
+    let points = run_cells(&cells, |&(transfer_kb, chips, scheduler)| {
+        run_point(scale, chips, transfer_kb, scheduler)
+    });
     ScalingResult {
         points,
         chip_counts,

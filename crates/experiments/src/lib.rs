@@ -41,9 +41,10 @@ pub mod fig15;
 pub mod fig15_scaling;
 pub mod fig16;
 pub mod fig17;
+pub mod micro;
 pub mod report;
 pub mod runner;
 pub mod table1;
 
 pub use report::Table;
-pub use runner::{run_matrix, run_one, to_host_requests, ExperimentScale, MatrixCell};
+pub use runner::{run_cells, run_matrix, run_one, to_host_requests, ExperimentScale, MatrixCell};

@@ -117,6 +117,55 @@ pub fn run_one_detailed(
     ssd.run(requests)
 }
 
+/// Runs one closure per cell on a bounded pool of scoped worker threads and
+/// returns the results in input order.
+///
+/// Every experiment cell — a (scheduler × workload × chip-count) triple — is an
+/// independent simulation, so regenerating a whole figure is embarrassingly
+/// parallel.  Workers pull cells from a shared cursor, so uneven cell costs
+/// (the 1024-chip points dominate a scaling panel) still balance; the pool is
+/// capped at `available_parallelism` so a full-scale regeneration never
+/// oversubscribes the host.  Results are reassembled in input order, keeping
+/// every figure's output byte-identical to a serial run.
+pub fn run_cells<T, R, F>(cells: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cells.len());
+    if workers <= 1 {
+        return cells.iter().map(run).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(cells.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(cell) = cells.get(index) else {
+                            break;
+                        };
+                        local.push((index, run(cell)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            indexed.extend(handle.join().expect("experiment worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
 /// One cell of a scheduler × workload matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixCell {
@@ -128,42 +177,23 @@ pub struct MatrixCell {
     pub metrics: RunMetrics,
 }
 
-/// Runs every scheduler over every trace, in parallel across workloads.
+/// Runs every scheduler over every trace, in parallel across the independent
+/// cells via [`run_cells`].  Cells come back in deterministic order: by
+/// workload, then by scheduler order in the request.
 pub fn run_matrix(
     config: &SsdConfig,
     schedulers: &[SchedulerKind],
     traces: &[Trace],
 ) -> Vec<MatrixCell> {
-    let mut cells: Vec<MatrixCell> = Vec::with_capacity(schedulers.len() * traces.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for trace in traces {
-            for &kind in schedulers {
-                let config = config.clone();
-                handles.push(scope.spawn(move || MatrixCell {
-                    workload: trace.name().to_string(),
-                    scheduler: kind,
-                    metrics: run_one(&config, kind, trace),
-                }));
-            }
-        }
-        for handle in handles {
-            cells.push(handle.join().expect("experiment thread panicked"));
-        }
-    });
-    // Deterministic ordering: by workload then by scheduler order in the request.
-    cells.sort_by_key(|cell| {
-        let w = traces
-            .iter()
-            .position(|t| t.name() == cell.workload)
-            .unwrap_or(usize::MAX);
-        let s = schedulers
-            .iter()
-            .position(|&k| k == cell.scheduler)
-            .unwrap_or(usize::MAX);
-        (w, s)
-    });
-    cells
+    let cells: Vec<(&Trace, SchedulerKind)> = traces
+        .iter()
+        .flat_map(|trace| schedulers.iter().map(move |&kind| (trace, kind)))
+        .collect();
+    run_cells(&cells, |&(trace, kind)| MatrixCell {
+        workload: trace.name().to_string(),
+        scheduler: kind,
+        metrics: run_one(config, kind, trace),
+    })
 }
 
 /// Finds the cell for a workload/scheduler pair.
@@ -199,6 +229,17 @@ mod tests {
         let trace = SyntheticSpec::new("small").generate(60, 5);
         let metrics = run_one(&config, SchedulerKind::Spk3, &trace);
         assert_eq!(metrics.io_count, 60);
+    }
+
+    #[test]
+    fn run_cells_matches_a_serial_map_in_order() {
+        let cells: Vec<usize> = (0..97).collect();
+        let parallel = run_cells(&cells, |&i| i * i + 1);
+        let serial: Vec<usize> = cells.iter().map(|&i| i * i + 1).collect();
+        assert_eq!(parallel, serial);
+        // Degenerate shapes.
+        assert!(run_cells(&[] as &[usize], |&i: &usize| i).is_empty());
+        assert_eq!(run_cells(&[7usize], |&i| i + 1), vec![8]);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!
 //! * the NVMHC device-level queue and memory-request composition pipeline
 //!   ([`queue`], [`request`], [`dma`]),
+//! * the per-chip commitment/occupancy ledger that enforces the over-commitment
+//!   cap with full per-round headroom ([`ledger`]),
 //! * per-channel flash controllers that coalesce committed memory requests into
 //!   flash transactions with die interleaving and plane sharing ([`controller`],
 //!   [`channel`]),
@@ -43,6 +45,7 @@ pub mod controller;
 pub mod dma;
 pub mod error;
 pub mod ftl;
+pub mod ledger;
 pub mod metrics;
 pub mod queue;
 pub mod request;
@@ -51,7 +54,8 @@ pub mod ssd;
 
 pub use config::{AllocationPolicy, GcConfig, SsdConfig};
 pub use error::SsdError;
+pub use ledger::{ChipOccupancy, CommitmentLedger};
 pub use metrics::{ExecutionBreakdown, FlpBreakdown, MetricsCollector, RunMetrics};
 pub use request::{Direction, HostRequest, MemReqId, MemoryRequest, Placement, TagId};
-pub use scheduler::{ChipOccupancy, Commitment, IoScheduler, SchedulerContext};
+pub use scheduler::{Commitment, IoScheduler, SchedulerContext};
 pub use ssd::Ssd;

@@ -4,8 +4,8 @@
 //! are implemented against this trait (in the `sprinkler-core` crate).  The SSD
 //! substrate invokes [`IoScheduler::schedule`] whenever scheduling-relevant state
 //! changes (tag admission, memory-request completion, transaction completion); the
-//! scheduler inspects the device queue and the physical occupancy view and returns
-//! the memory requests it wants to compose and commit.
+//! scheduler inspects the device queue and the commitment ledger's occupancy view
+//! and returns the memory requests it wants to compose and commit.
 
 use std::fmt;
 
@@ -13,20 +13,11 @@ use sprinkler_flash::FlashGeometry;
 use sprinkler_sim::SimTime;
 
 use crate::ftl::PageMigration;
+use crate::ledger::CommitmentLedger;
 use crate::queue::{DeviceQueue, TagState};
 use crate::request::TagId;
 
-/// Occupancy of one flash chip, as visible to the scheduler.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ChipOccupancy {
-    /// Flat chip index.
-    pub chip: usize,
-    /// True while the chip is executing a flash transaction.
-    pub busy: bool,
-    /// Committed host memory requests that have not completed yet (in DMA, pending
-    /// at the controller, executing, or returning data).
-    pub outstanding: usize,
-}
+pub use crate::ledger::ChipOccupancy;
 
 /// One scheduling decision: compose and commit the memory request for page
 /// `page` of tag `tag`.
@@ -50,10 +41,8 @@ pub struct SchedulerContext<'a> {
     pub geometry: &'a FlashGeometry,
     /// The device-level queue with per-tag commitment/completion state.
     pub queue: &'a DeviceQueue,
-    /// Per-chip occupancy, indexed by flat chip index.
-    pub occupancy: &'a [ChipOccupancy],
-    /// Hard cap on committed-but-incomplete memory requests per chip.
-    pub max_committed_per_chip: usize,
+    /// The commitment ledger: per-chip occupancy and the hard commitment cap.
+    pub ledger: &'a CommitmentLedger,
 }
 
 impl<'a> SchedulerContext<'a> {
@@ -62,25 +51,31 @@ impl<'a> SchedulerContext<'a> {
         self.queue.iter_states()
     }
 
+    /// Hard cap on committed-but-incomplete memory requests per chip.
+    pub fn max_committed_per_chip(&self) -> usize {
+        self.ledger.max_committed_per_chip()
+    }
+
     /// Outstanding committed requests for a chip.
     pub fn outstanding(&self, chip: usize) -> usize {
-        self.occupancy.get(chip).map_or(0, |o| o.outstanding)
+        self.ledger.outstanding(chip)
     }
 
     /// Whether a chip is currently executing a transaction.
     pub fn chip_busy(&self, chip: usize) -> bool {
-        self.occupancy.get(chip).is_some_and(|o| o.busy)
+        self.ledger.is_busy(chip)
     }
 
-    /// Remaining commit capacity for a chip under the hard cap.
+    /// Remaining commit capacity for a chip under the hard cap.  The ledger
+    /// guarantees this is the *full* `max_committed_per_chip` headroom: same-
+    /// round commits are reflected in `outstanding` once, never double-counted.
     pub fn capacity_left(&self, chip: usize) -> usize {
-        self.max_committed_per_chip
-            .saturating_sub(self.outstanding(chip))
+        self.ledger.headroom(chip)
     }
 
     /// Total number of chips.
     pub fn chip_count(&self) -> usize {
-        self.occupancy.len()
+        self.ledger.chip_count()
     }
 }
 
@@ -133,10 +128,8 @@ impl IoScheduler for CommitAllScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
-        let mut budget: Vec<usize> = ctx
-            .occupancy
-            .iter()
-            .map(|o| ctx.max_committed_per_chip.saturating_sub(o.outstanding))
+        let mut budget: Vec<usize> = (0..ctx.chip_count())
+            .map(|c| ctx.capacity_left(c))
             .collect();
         let mut out = Vec::new();
         for tag in ctx.tags() {
@@ -161,15 +154,14 @@ mod tests {
 
     fn ctx_fixture<'a>(
         queue: &'a DeviceQueue,
-        occupancy: &'a [ChipOccupancy],
+        ledger: &'a CommitmentLedger,
         geometry: &'a FlashGeometry,
     ) -> SchedulerContext<'a> {
         SchedulerContext {
             now: SimTime::ZERO,
             geometry,
             queue,
-            occupancy,
-            max_committed_per_chip: 2,
+            ledger,
         }
     }
 
@@ -192,17 +184,15 @@ mod tests {
     }
 
     #[test]
-    fn context_views_expose_queue_and_occupancy() {
+    fn context_views_expose_queue_and_ledger() {
         let geometry = FlashGeometry::small_test();
         let queue = make_queue(&geometry);
-        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
-            .map(|chip| ChipOccupancy {
-                chip,
-                busy: chip == 1,
-                outstanding: chip,
-            })
+        let outstanding: Vec<usize> = (0..geometry.total_chips())
+            .map(|chip| chip.min(2))
             .collect();
-        let ctx = ctx_fixture(&queue, &occupancy, &geometry);
+        let mut ledger = CommitmentLedger::from_outstanding(2, &outstanding);
+        ledger.set_busy(1, true);
+        let ctx = ctx_fixture(&queue, &ledger, &geometry);
         assert_eq!(ctx.tags().count(), 2);
         assert!(ctx.chip_busy(1));
         assert!(!ctx.chip_busy(0));
@@ -210,6 +200,7 @@ mod tests {
         assert_eq!(ctx.capacity_left(0), 2);
         assert_eq!(ctx.capacity_left(2), 0);
         assert_eq!(ctx.chip_count(), geometry.total_chips());
+        assert_eq!(ctx.max_committed_per_chip(), 2);
         assert_eq!(ctx.outstanding(999), 0);
         assert!(!ctx.chip_busy(999));
     }
@@ -218,14 +209,11 @@ mod tests {
     fn commit_all_respects_chip_budget() {
         let geometry = FlashGeometry::small_test();
         let queue = make_queue(&geometry);
-        let occupancy: Vec<ChipOccupancy> = (0..geometry.total_chips())
-            .map(|chip| ChipOccupancy {
-                chip,
-                busy: false,
-                outstanding: if chip == 0 { 2 } else { 0 },
-            })
+        let outstanding: Vec<usize> = (0..geometry.total_chips())
+            .map(|chip| if chip == 0 { 2 } else { 0 })
             .collect();
-        let ctx = ctx_fixture(&queue, &occupancy, &geometry);
+        let ledger = CommitmentLedger::from_outstanding(2, &outstanding);
+        let ctx = ctx_fixture(&queue, &ledger, &geometry);
         let mut sched = CommitAllScheduler::new();
         assert_eq!(sched.name(), "commit-all");
         let commitments = sched.schedule(&ctx);

@@ -19,10 +19,11 @@ use crate::config::SsdConfig;
 use crate::controller::{FlashController, PendingRequest};
 use crate::dma::DmaEngine;
 use crate::ftl::Ftl;
+use crate::ledger::CommitmentLedger;
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::queue::DeviceQueue;
 use crate::request::{Direction, HostRequest, MemReqId, MemReqPhase, MemoryRequest, TagId};
-use crate::scheduler::{ChipOccupancy, Commitment, IoScheduler, SchedulerContext};
+use crate::scheduler::{Commitment, IoScheduler, SchedulerContext};
 
 /// Simulation events.
 #[derive(Debug)]
@@ -119,17 +120,14 @@ pub struct Ssd {
 
     waiting_host: VecDeque<HostRequest>,
     mem_requests: HashMap<MemReqId, MemoryRequest>,
-    /// Per-chip occupancy as exposed to the scheduler.  Maintained incrementally
-    /// (commit, completion, transaction start/end) so scheduling rounds never
-    /// rebuild an O(chip count) view.
-    occupancy: Vec<ChipOccupancy>,
+    /// Commitment/occupancy accounting, maintained incrementally (commit,
+    /// completion, transaction start/end) so scheduling rounds never rebuild an
+    /// O(chip count) view.  All cap enforcement and per-round counting lives in
+    /// the ledger; see [`CommitmentLedger`] for the invariants.
+    ledger: CommitmentLedger,
     live_txns: HashMap<u64, LiveTransaction>,
     chip_kick_pending: Vec<bool>,
     schedule_pending: bool,
-    /// Scratch for per-round commit counting; only the chips listed in
-    /// `commit_dirty` hold non-zero entries between rounds.
-    commit_scratch: Vec<usize>,
-    commit_dirty: Vec<usize>,
 
     gc_jobs: Vec<GcJob>,
     gc_roles: HashMap<MemReqId, GcRole>,
@@ -185,18 +183,10 @@ impl Ssd {
             events: EventQueue::new(),
             waiting_host: VecDeque::new(),
             mem_requests: HashMap::new(),
-            occupancy: (0..total_chips)
-                .map(|chip| ChipOccupancy {
-                    chip,
-                    busy: false,
-                    outstanding: 0,
-                })
-                .collect(),
+            ledger: CommitmentLedger::new(total_chips, config.max_committed_per_chip),
             live_txns: HashMap::new(),
             chip_kick_pending: vec![false; total_chips],
             schedule_pending: false,
-            commit_scratch: vec![0; total_chips],
-            commit_dirty: Vec::new(),
             gc_jobs: Vec::new(),
             gc_roles: HashMap::new(),
             gc_active_planes: HashSet::new(),
@@ -330,20 +320,16 @@ impl Ssd {
         if self.queue.is_empty() {
             return;
         }
+        self.ledger.begin_round();
         let commitments = {
             let ctx = SchedulerContext {
                 now,
                 geometry: &self.config.geometry,
                 queue: &self.queue,
-                occupancy: &self.occupancy,
-                max_committed_per_chip: self.config.max_committed_per_chip,
+                ledger: &self.ledger,
             };
             self.scheduler.schedule(&ctx)
         };
-        for &chip in &self.commit_dirty {
-            self.commit_scratch[chip] = 0;
-        }
-        self.commit_dirty.clear();
         for Commitment { tag, page } in commitments {
             self.commit_memory_request(tag, page, now);
         }
@@ -358,13 +344,11 @@ impl Ssd {
             return;
         }
         let chip = tag.placements[page as usize].chip;
-        // NOTE: `outstanding` is itself incremented further down this function,
-        // so same-round commits are counted twice here and the effective
-        // per-round headroom is ceil(max_committed_per_chip / 2).  This
-        // double count is preserved seed behavior — changing it would alter
-        // every scheduler's commitment stream (see ROADMAP open items).
-        let already = self.occupancy[chip].outstanding + self.commit_scratch[chip];
-        if already >= self.config.max_committed_per_chip {
+        // Commitments beyond the chip's headroom are deferred to a later round.
+        // `outstanding` already reflects this round's commits exactly once, so
+        // the headroom available within a single round is the full
+        // `max_committed_per_chip`.
+        if self.ledger.headroom(chip) == 0 {
             return;
         }
         let host = tag.host;
@@ -372,10 +356,7 @@ impl Ssd {
         if !self.queue.commit_page(tag_id, page, now) {
             return;
         }
-        if self.commit_scratch[chip] == 0 {
-            self.commit_dirty.push(chip);
-        }
-        self.commit_scratch[chip] += 1;
+        self.ledger.commit(chip);
         let id = MemReqId(self.next_mreq);
         self.next_mreq += 1;
         let request = MemoryRequest::new_host(
@@ -387,7 +368,6 @@ impl Ssd {
             placement,
             now,
         );
-        self.occupancy[chip].outstanding += 1;
         let is_write = host.direction.is_write();
         self.mem_requests.insert(id, request);
         if is_write {
@@ -494,7 +474,7 @@ impl Ssd {
         let phase = self.chips[chip_index]
             .begin_transaction(&built.txn, grant.start, &self.config.timing)
             .expect("idle chip accepted the transaction");
-        self.occupancy[chip_index].busy = true;
+        self.ledger.set_busy(chip_index, true);
 
         for member in &built.members {
             if let Some(request) = self.mem_requests.get_mut(member) {
@@ -541,7 +521,7 @@ impl Ssd {
             return;
         };
         self.chips[live.chip].complete_transaction(now);
-        self.occupancy[live.chip].busy = false;
+        self.ledger.set_busy(live.chip, false);
         self.metrics.record_transaction(
             live.level,
             live.request_count,
@@ -581,8 +561,10 @@ impl Ssd {
         request.phase = MemReqPhase::Complete;
         request.completed_at = now;
         if !request.gc {
-            let chip = request.placement.chip;
-            self.occupancy[chip].outstanding = self.occupancy[chip].outstanding.saturating_sub(1);
+            // Every host commitment was charged to the ledger at commit time;
+            // the ledger audits that this retirement has a matching charge
+            // instead of silently saturating.
+            self.ledger.retire(request.placement.chip);
         }
         if let Some(tag_id) = request.tag {
             let mut finished: Option<(HostRequest, SimTime)> = None;
@@ -934,5 +916,78 @@ mod tests {
         let mut config = SsdConfig::small_test();
         config.queue_depth = 0;
         assert!(Ssd::new(config, Box::new(CommitAllScheduler::new())).is_err());
+    }
+
+    /// A probe that proposes every uncommitted page each round and records the
+    /// per-chip outstanding counts it observes at the start of every round.
+    #[derive(Debug)]
+    struct HeadroomProbe {
+        observed: std::sync::Arc<std::sync::Mutex<Vec<Vec<usize>>>>,
+    }
+
+    impl crate::scheduler::IoScheduler for HeadroomProbe {
+        fn name(&self) -> &'static str {
+            "headroom-probe"
+        }
+
+        fn schedule(
+            &mut self,
+            ctx: &crate::scheduler::SchedulerContext<'_>,
+        ) -> Vec<crate::scheduler::Commitment> {
+            let outstanding: Vec<usize> =
+                (0..ctx.chip_count()).map(|c| ctx.outstanding(c)).collect();
+            self.observed.lock().unwrap().push(outstanding);
+            ctx.tags()
+                .flat_map(|tag| {
+                    tag.uncommitted_pages()
+                        .map(|page| crate::scheduler::Commitment { tag: tag.id, page })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        }
+    }
+
+    /// Regression test for the seed's same-round over-commitment double-count:
+    /// with `max_committed_per_chip = N`, a single scheduling round must be able
+    /// to commit N pages to one chip.  The seed charged same-round commits
+    /// against the cap twice (per-round scratch *and* `outstanding`), so a round
+    /// saturated at ceil(N / 2) — here, 4 of the 8 pages per chip.
+    #[test]
+    fn a_single_round_commits_the_full_per_chip_cap() {
+        let config = SsdConfig::small_test();
+        let max = config.max_committed_per_chip;
+        assert_eq!(max, 8, "the fixture relies on the small_test cap");
+        let chips = config.geometry.total_chips();
+        let observed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let probe = HeadroomProbe {
+            observed: std::sync::Arc::clone(&observed),
+        };
+        let ssd = Ssd::new(config, Box::new(probe)).unwrap();
+        // One 32-page read stripes 8 pages onto each of the 4 chips.  A second
+        // tiny arrival 500 ns later triggers a new scheduling round long before
+        // any flash transaction can complete (decision window 1 us + ≥20 us
+        // read cell time), so round 2 observes exactly what round 1 committed.
+        let trace = vec![
+            read_req(0, 0, 0, 32),
+            HostRequest::new(
+                1,
+                SimTime::from_nanos(500),
+                Direction::Read,
+                Lpn::new(256),
+                1,
+            ),
+        ];
+        let metrics = ssd.run(trace);
+        assert_eq!(metrics.io_count, 2);
+        let rounds = observed.lock().unwrap();
+        assert!(rounds.len() >= 2, "two scheduling rounds must have run");
+        assert_eq!(rounds[0], vec![0; chips], "round 1 starts from idle chips");
+        // Every chip accepted its full cap of 8 same-round commitments; under
+        // the seed's double-count this read [4, 4, 4, 4].
+        assert_eq!(
+            rounds[1],
+            vec![max; chips],
+            "round 1 must have committed the full per-chip cap"
+        );
     }
 }
