@@ -1,0 +1,83 @@
+//! Times the streaming trace-ingestion path and proves its bounded-memory
+//! claim at scale: a multi-million-I/O enterprise replay streams from the lazy
+//! generator through the capacity-validating boundary with a host-side
+//! backlog capped at the device queue depth — memory tracks outstanding work,
+//! not trace length.  The Criterion body times a smaller slice of the same
+//! shape so ingestion-path regressions are visible from `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::runner::ExperimentScale;
+use sprinkler_experiments::{run_source, scenario, CapacityPolicy};
+use sprinkler_ssd::SsdConfig;
+use sprinkler_workloads::{parse, workload};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let config = SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane);
+
+    // The headline demonstration: 2M I/Os streamed end to end, memory bounded
+    // by the queue depth (the eager seed path materialized the whole trace and
+    // pre-scheduled one arrival event per record).
+    let ios: u64 = 2_000_000;
+    let start = std::time::Instant::now();
+    let metrics = run_source(
+        &config,
+        SchedulerKind::Spk3,
+        &mut workload("msnfs1")
+            .expect("Table 1 workload")
+            .stream(ios, 0xBE7),
+        CapacityPolicy::Reject,
+    )
+    .expect("Table 1 footprints fit the device");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(metrics.io_count, ios);
+    assert!(
+        metrics.peak_host_backlog <= config.queue_depth as u64,
+        "backlog {} exceeded queue depth {}",
+        metrics.peak_host_backlog,
+        config.queue_depth
+    );
+    println!(
+        "streamed {ios} I/Os in {elapsed:.1} s ({:.0} I/O/s), peak host backlog {} \
+         (queue depth {}), peak pending events {}",
+        ios as f64 / elapsed,
+        metrics.peak_host_backlog,
+        config.queue_depth,
+        metrics.peak_pending_events,
+    );
+
+    // The scenario registry rides the same path; print its quick-scale tables.
+    for outcome in scenario::run_all(&scale) {
+        println!("{}", outcome.table().render());
+    }
+
+    let mut group = c.benchmark_group("streaming_replay");
+    group.sample_size(10);
+    group.bench_function("msnfs1_20k_stream", |b| {
+        b.iter(|| {
+            run_source(
+                &config,
+                SchedulerKind::Spk3,
+                &mut workload("msnfs1").unwrap().stream(20_000, 0xBE7),
+                CapacityPolicy::Reject,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("msr_corpus_parse_and_replay", |b| {
+        b.iter(|| {
+            run_source(
+                &config,
+                SchedulerKind::Spk3,
+                &mut parse::sample_msr(),
+                CapacityPolicy::Reject,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

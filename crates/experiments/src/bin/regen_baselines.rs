@@ -278,6 +278,21 @@ fn quick_smoke() {
         start.elapsed().as_secs_f64()
     );
     println!("{}", result.panel(32).render());
+
+    let start = Instant::now();
+    let outcomes = sprinkler_experiments::scenario::run_all(&scale);
+    let cells: usize = outcomes.iter().map(|o| o.cells.len()).sum();
+    println!(
+        "scenario registry via parallel runner: {cells} cells in {:.2} s",
+        { start.elapsed().as_secs_f64() }
+    );
+    for outcome in &outcomes {
+        assert!(
+            outcome.cells.iter().all(|c| c.metrics.io_count > 0),
+            "scenario {} dropped I/Os",
+            outcome.scenario
+        );
+    }
     println!("quick smoke OK (no baseline files written)");
 }
 

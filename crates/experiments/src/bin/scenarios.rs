@@ -1,0 +1,54 @@
+//! Runs the named-scenario registry from the command line:
+//!
+//! ```sh
+//! cargo run --release -p sprinkler_experiments --bin scenarios -- --quick
+//! cargo run --release -p sprinkler_experiments --bin scenarios -- enterprise-replay
+//! ```
+//!
+//! With no arguments, runs every registered scenario at full scale.  Pass
+//! `--quick` for the CI-sized run, and/or scenario names to run a subset.
+
+use std::time::Instant;
+
+use sprinkler_experiments::runner::ExperimentScale;
+use sprinkler_experiments::{scenario, SCENARIO_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::full()
+    };
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let names: Vec<&str> = if requested.is_empty() {
+        SCENARIO_NAMES.to_vec()
+    } else {
+        requested
+    };
+
+    for name in names {
+        let start = Instant::now();
+        let Some(outcome) = scenario::run(name, &scale) else {
+            eprintln!(
+                "unknown scenario {name:?}; registered: {}",
+                SCENARIO_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        };
+        println!("{}", outcome.table().render());
+        println!(
+            "{} cells in {:.2} s\n",
+            outcome.cells.len(),
+            start.elapsed().as_secs_f64()
+        );
+        // Every scenario must complete all of its work; a silent empty cell
+        // set would let CI pass while covering nothing.
+        assert!(!outcome.cells.is_empty());
+        assert!(outcome.cells.iter().all(|c| c.metrics.io_count > 0));
+    }
+}

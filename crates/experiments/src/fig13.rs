@@ -55,11 +55,13 @@ mod tests {
 
     #[test]
     fn spk3_spends_less_time_idle_than_pas() {
+        // Five workloads rather than three: on very small subsets the mean
+        // idle gap between PAS and SPK3 is within workload-to-workload noise.
         let scale = ExperimentScale {
-            ios_per_workload: 150,
+            ios_per_workload: 200,
             blocks_per_plane: 16,
         };
-        let comparison = fig10::run(&scale, Some(3));
+        let comparison = fig10::run(&scale, Some(5));
         let pas_idle = mean_idle(&comparison, SchedulerKind::Pas);
         let spk3_idle = mean_idle(&comparison, SchedulerKind::Spk3);
         assert!(
@@ -67,7 +69,7 @@ mod tests {
             "SPK3 idle {spk3_idle:.3} must be below PAS idle {pas_idle:.3}"
         );
         let table = breakdown_table(&comparison, SchedulerKind::Spk3);
-        assert_eq!(table.row_count(), 3);
+        assert_eq!(table.row_count(), 5);
         assert!(table.render().contains("memory op"));
     }
 }

@@ -18,8 +18,12 @@
 //! | [`fig17`]   | Fig 17 — garbage collection / readdressing impact |
 //!
 //! The [`runner`] module holds the shared machinery (trace → host-request
-//! conversion, scheduler × workload matrices, parallel execution) and [`report`]
-//! renders plain-text tables whose rows mirror the paper's series.
+//! conversion, scheduler × workload matrices, parallel execution), [`replay`]
+//! is the streaming [`sprinkler_workloads::TraceSource`] → SSD boundary every
+//! experiment feeds through (bounded admission + logical-capacity validation),
+//! [`scenario`] is the named-scenario registry (enterprise replay, GC
+//! steady-state, queue-depth sweep, mixed bursts), and [`report`] renders
+//! plain-text tables whose rows mirror the paper's series.
 //!
 //! Absolute numbers differ from the paper (our substrate is a from-scratch
 //! simulator, not the authors' testbed); the comparisons the paper draws — who
@@ -42,9 +46,13 @@ pub mod fig15_scaling;
 pub mod fig16;
 pub mod fig17;
 pub mod micro;
+pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod table1;
 
+pub use replay::{run_source, run_source_detailed, CapacityPolicy, ReplayError};
 pub use report::Table;
 pub use runner::{run_cells, run_matrix, run_one, to_host_requests, ExperimentScale, MatrixCell};
+pub use scenario::{ScenarioCell, ScenarioOutcome, SCENARIO_NAMES};

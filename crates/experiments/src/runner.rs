@@ -2,10 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 use sprinkler_core::SchedulerKind;
-use sprinkler_flash::Lpn;
-use sprinkler_ssd::request::{Direction, HostRequest};
-use sprinkler_ssd::{RunMetrics, Ssd, SsdConfig};
+use sprinkler_ssd::request::HostRequest;
+use sprinkler_ssd::{RunMetrics, SsdConfig};
 use sprinkler_workloads::Trace;
+
+use crate::replay::{self, CapacityPolicy};
 
 /// How large each experiment should be.  The full scale approximates the paper's
 /// runs; the quick scale keeps `cargo bench`/CI runs in the seconds range while
@@ -64,7 +65,13 @@ impl ExperimentScale {
     /// number of page-level memory requests.
     pub fn sweep_trace(&self, transfer_kb: u64, read_fraction: f64, seed: u64) -> Trace {
         let pages_per_io = (transfer_kb * 1024).div_ceil(2048).max(1);
-        let ios = (self.sweep_page_budget() / pages_per_io).clamp(12, self.ios_per_workload);
+        // The lower bound keeps large-transfer points statistically meaningful
+        // but must never exceed the scale's own I/O budget: `clamp` panics when
+        // its bounds invert, which the seed hit for `ios_per_workload < 12`
+        // (and a zero-I/O scale still yields one record rather than panicking).
+        let floor = 12.min(self.ios_per_workload).max(1);
+        let ceiling = self.ios_per_workload.max(floor);
+        let ios = (self.sweep_page_budget() / pages_per_io).clamp(floor, ceiling);
         sprinkler_workloads::SweepSpec::new(transfer_kb)
             .with_read_fraction(read_fraction)
             .generate(ios, seed)
@@ -72,31 +79,25 @@ impl ExperimentScale {
 }
 
 /// Converts a block-level trace into page-granular host requests for the SSD.
+///
+/// Pure conversion, no capacity bound — the streaming replay boundary
+/// ([`crate::replay::run_source`]) is where records are validated against the
+/// device's logical capacity; this eager helper exists for tests and
+/// hand-assembled runs.
 pub fn to_host_requests(trace: &Trace, page_size: usize) -> Vec<HostRequest> {
     trace
         .iter()
-        .map(|record| {
-            let (lpn, pages) = record.pages(page_size);
-            HostRequest::new(
-                record.id,
-                record.arrival,
-                if record.op.is_read() {
-                    Direction::Read
-                } else {
-                    Direction::Write
-                },
-                Lpn::new(lpn),
-                pages,
-            )
-        })
+        .map(|record| replay::record_to_request(record, page_size))
         .collect()
 }
 
-/// Runs one scheduler over one trace on the given SSD configuration.
+/// Runs one scheduler over one trace on the given SSD configuration, through
+/// the streaming replay boundary: records are pulled from the trace lazily,
+/// validated against the device's logical capacity (out-of-capacity ranges
+/// wrap deterministically), and admitted under bounded backpressure.
 pub fn run_one(config: &SsdConfig, kind: SchedulerKind, trace: &Trace) -> RunMetrics {
-    let requests = to_host_requests(trace, config.page_size());
-    let ssd = Ssd::new(config.clone(), kind.build()).expect("experiment config must be valid");
-    ssd.run(requests)
+    replay::run_source(config, kind, &mut trace.source(), CapacityPolicy::Wrap)
+        .expect("the wrap policy never rejects a record")
 }
 
 /// Like [`run_one`] but records the per-I/O latency series (Fig 12) and optionally
@@ -108,13 +109,15 @@ pub fn run_one_detailed(
     record_series: bool,
     precondition: Option<f64>,
 ) -> RunMetrics {
-    let requests = to_host_requests(trace, config.page_size());
-    let mut ssd = Ssd::with_series(config.clone(), kind.build(), record_series)
-        .expect("experiment config must be valid");
-    if let Some(utilization) = precondition {
-        ssd.precondition(utilization, 0xF17);
-    }
-    ssd.run(requests)
+    replay::run_source_detailed(
+        config,
+        kind,
+        &mut trace.source(),
+        CapacityPolicy::Wrap,
+        record_series,
+        precondition,
+    )
+    .expect("the wrap policy never rejects a record")
 }
 
 /// Runs one closure per cell on a bounded pool of scoped worker threads and
@@ -279,5 +282,26 @@ mod tests {
             ExperimentScale::full().ios_per_workload > ExperimentScale::quick().ios_per_workload
         );
         assert_eq!(ExperimentScale::default(), ExperimentScale::full());
+    }
+
+    /// Regression: `sweep_trace` panicked ("assertion failed: min <= max") for
+    /// any scale below 12 I/Os per workload, because the clamp's fixed lower
+    /// bound exceeded the upper bound.
+    #[test]
+    fn sweep_trace_survives_tiny_scales() {
+        for ios in [0, 1, 2, 5, 11, 12, 13] {
+            let scale = ExperimentScale {
+                ios_per_workload: ios,
+                blocks_per_plane: 8,
+            };
+            for transfer_kb in [4, 4096] {
+                let trace = scale.sweep_trace(transfer_kb, 1.0, 7);
+                assert!(!trace.is_empty());
+                assert!(trace.len() as u64 <= ios.max(1));
+            }
+        }
+        // At normal scales the floor still applies to huge transfers.
+        let scale = ExperimentScale::quick();
+        assert!(scale.sweep_trace(4096, 1.0, 7).len() >= 12);
     }
 }

@@ -1,0 +1,358 @@
+//! The named-scenario registry.
+//!
+//! The figure modules reproduce the paper's published panels; the registry
+//! covers the *operational* situations a production many-chip SSD must handle,
+//! each as a named, deterministic, scale-aware experiment that fans out over
+//! [`run_cells`]:
+//!
+//! | scenario            | what it exercises |
+//! |---------------------|-------------------|
+//! | `enterprise-replay` | parsed text traces (the embedded MSR + blkparse corpora) and a streamed Table 1 workload, replayed through the capacity-validating boundary |
+//! | `gc-steady-state`   | a pre-conditioned, fragmented SSD under sustained overwrites with garbage collection on |
+//! | `queue-depth-sweep` | the same bursty workload across device queue depths 8→64 |
+//! | `mixed-burst`       | half-read/half-write bursts at high and low transactional locality |
+//!
+//! Every scenario compares the conventional controller (VAS) against full
+//! Sprinkler (SPK3) and returns per-cell [`RunMetrics`], so regressions in any
+//! operating regime — not just the paper's figures — are visible from one
+//! `run_all` call.  The `scenarios` binary runs the registry from the command
+//! line (CI runs it at quick scale).
+
+use serde::{Deserialize, Serialize};
+use sprinkler_core::SchedulerKind;
+use sprinkler_ssd::{GcConfig, RunMetrics, SsdConfig};
+use sprinkler_workloads::{parse, workload, SyntheticSpec};
+
+use crate::replay::{run_source, run_source_detailed, CapacityPolicy};
+use crate::report::{fmt_f64, Table};
+use crate::runner::{run_cells, ExperimentScale};
+
+/// The registered scenario names, in run order.
+pub const SCENARIO_NAMES: [&str; 4] = [
+    "enterprise-replay",
+    "gc-steady-state",
+    "queue-depth-sweep",
+    "mixed-burst",
+];
+
+/// The schedulers every scenario compares.
+const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Vas, SchedulerKind::Spk3];
+
+/// One measured cell of a scenario: a workload variant under one scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCell {
+    /// The workload variant (e.g. `"sample_msr"`, `"qd16"`).
+    pub label: String,
+    /// Scheduler evaluated.
+    pub scheduler: SchedulerKind,
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+}
+
+/// The result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// Every (variant × scheduler) cell, in deterministic order.
+    pub cells: Vec<ScenarioCell>,
+}
+
+impl ScenarioOutcome {
+    /// The cell for one variant/scheduler pair.
+    pub fn cell(&self, label: &str, scheduler: SchedulerKind) -> Option<&ScenarioCell> {
+        self.cells
+            .iter()
+            .find(|c| c.label == label && c.scheduler == scheduler)
+    }
+
+    /// Bandwidth/latency summary table, one row per variant.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Scenario: {}", self.scenario),
+            vec![
+                "variant".into(),
+                "VAS KB/s".into(),
+                "SPK3 KB/s".into(),
+                "VAS lat us".into(),
+                "SPK3 lat us".into(),
+            ],
+        );
+        let mut variants: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !variants.contains(&cell.label.as_str()) {
+                variants.push(&cell.label);
+            }
+        }
+        for variant in variants {
+            let metric = |kind, f: fn(&RunMetrics) -> f64| {
+                self.cell(variant, kind)
+                    .map_or_else(String::new, |c| fmt_f64(f(&c.metrics)))
+            };
+            table.add_row(vec![
+                variant.to_string(),
+                metric(SchedulerKind::Vas, |m| m.bandwidth_kb_per_sec),
+                metric(SchedulerKind::Spk3, |m| m.bandwidth_kb_per_sec),
+                metric(SchedulerKind::Vas, |m| m.avg_latency_ns / 1000.0),
+                metric(SchedulerKind::Spk3, |m| m.avg_latency_ns / 1000.0),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs one named scenario at the given scale.  Returns `None` for an unknown
+/// name (see [`SCENARIO_NAMES`]).
+pub fn run(name: &str, scale: &ExperimentScale) -> Option<ScenarioOutcome> {
+    let cells = match name {
+        "enterprise-replay" => enterprise_replay(scale),
+        "gc-steady-state" => gc_steady_state(scale),
+        "queue-depth-sweep" => queue_depth_sweep(scale),
+        "mixed-burst" => mixed_burst(scale),
+        _ => return None,
+    };
+    Some(ScenarioOutcome {
+        scenario: name.to_string(),
+        cells,
+    })
+}
+
+/// Runs every registered scenario, in [`SCENARIO_NAMES`] order.
+pub fn run_all(scale: &ExperimentScale) -> Vec<ScenarioOutcome> {
+    SCENARIO_NAMES
+        .iter()
+        .map(|name| run(name, scale).expect("registry names are valid"))
+        .collect()
+}
+
+/// The baseline configuration scenarios run on.
+fn scenario_config(scale: &ExperimentScale) -> SsdConfig {
+    SsdConfig::paper_default().with_blocks_per_plane(scale.blocks_per_plane)
+}
+
+/// enterprise-replay: the embedded text corpora stream through the parser and
+/// the capacity-rejecting replay boundary (proving validation is active on
+/// real trace text), plus one Table 1 workload streamed lazily at scale.
+fn enterprise_replay(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let config = scenario_config(scale);
+    let cells: Vec<(&str, SchedulerKind)> = ["sample_msr", "sample_blkparse", "msnfs1"]
+        .into_iter()
+        .flat_map(|label| SCHEDULERS.iter().map(move |&kind| (label, kind)))
+        .collect();
+    run_cells(&cells, |&(label, kind)| {
+        let metrics = match label {
+            "sample_msr" => run_source(
+                &config,
+                kind,
+                &mut parse::sample_msr(),
+                CapacityPolicy::Reject,
+            ),
+            "sample_blkparse" => run_source(
+                &config,
+                kind,
+                &mut parse::sample_blkparse(),
+                CapacityPolicy::Reject,
+            ),
+            _ => {
+                let spec = workload(label).expect("msnfs1 is a Table 1 workload");
+                run_source(
+                    &config,
+                    kind,
+                    &mut spec.stream(scale.ios_per_workload, 0x5CE0),
+                    CapacityPolicy::Reject,
+                )
+            }
+        }
+        .expect("enterprise traces fit the device's logical capacity");
+        ScenarioCell {
+            label: label.to_string(),
+            scheduler: kind,
+            metrics,
+        }
+    })
+}
+
+/// gc-steady-state: a small, fragmented SSD (pre-conditioned to 90% physical
+/// utilization) under sustained overwrites, garbage collection enabled — the
+/// regime of Fig 17, held as a standing scenario.
+fn gc_steady_state(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let config = SsdConfig::paper_default()
+        .with_chip_count(16)
+        .with_blocks_per_plane(8)
+        .with_gc(GcConfig::enabled());
+    // A footprint of half the logical capacity keeps overwrites hot.
+    let footprint_mb = (config.geometry.capacity_bytes() / (2 * 1024 * 1024)).max(1);
+    let cells: Vec<SchedulerKind> = SCHEDULERS.to_vec();
+    run_cells(&cells, |&kind| {
+        let spec = SyntheticSpec::new("gc-steady")
+            .with_read_fraction(0.3)
+            .with_mean_sizes_kb(16.0, 16.0)
+            .with_footprint_mb(footprint_mb)
+            .with_randomness(0.95, 0.95);
+        let metrics = run_source_detailed(
+            &config,
+            kind,
+            &mut spec.stream(scale.ios_per_workload, 0x6C),
+            CapacityPolicy::Reject,
+            false,
+            Some(0.90),
+        )
+        .expect("the GC workload fits the device");
+        ScenarioCell {
+            label: "fragmented-90pct".to_string(),
+            scheduler: kind,
+            metrics,
+        }
+    })
+}
+
+/// queue-depth-sweep: one bursty, read-heavy workload replayed at device
+/// queue depths 8 → 64.
+fn queue_depth_sweep(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let depths: [usize; 4] = [8, 16, 32, 64];
+    let cells: Vec<(usize, SchedulerKind)> = depths
+        .into_iter()
+        .flat_map(|depth| SCHEDULERS.iter().map(move |&kind| (depth, kind)))
+        .collect();
+    run_cells(&cells, |&(depth, kind)| {
+        let config = scenario_config(scale).with_queue_depth(depth);
+        let spec = SyntheticSpec::new("qd-sweep")
+            .with_read_fraction(0.8)
+            .with_bursts(16, 80.0)
+            .with_footprint_mb(1024);
+        let metrics = run_source(
+            &config,
+            kind,
+            &mut spec.stream(scale.ios_per_workload, 0x9D),
+            CapacityPolicy::Reject,
+        )
+        .expect("the sweep workload fits the device");
+        ScenarioCell {
+            label: format!("qd{depth}"),
+            scheduler: kind,
+            metrics,
+        }
+    })
+}
+
+/// mixed-burst: half-read/half-write bursts, at high and low transactional
+/// locality.
+fn mixed_burst(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    use sprinkler_workloads::Locality;
+    let variants: [(&str, Locality); 2] = [
+        ("burst-high-locality", Locality::High),
+        ("burst-low-locality", Locality::Low),
+    ];
+    let cells: Vec<((&str, Locality), SchedulerKind)> = variants
+        .into_iter()
+        .flat_map(|variant| SCHEDULERS.iter().map(move |&kind| (variant, kind)))
+        .collect();
+    run_cells(&cells, |&((label, locality), kind)| {
+        let config = scenario_config(scale);
+        let spec = SyntheticSpec::new(label)
+            .with_read_fraction(0.5)
+            .with_mean_sizes_kb(32.0, 32.0)
+            .with_bursts(32, 60.0)
+            .with_locality(locality)
+            .with_footprint_mb(1024);
+        let metrics = run_source(
+            &config,
+            kind,
+            &mut spec.stream(scale.ios_per_workload, 0xB5),
+            CapacityPolicy::Reject,
+        )
+        .expect("the burst workload fits the device");
+        ScenarioCell {
+            label: label.to_string(),
+            scheduler: kind,
+            metrics,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_workloads::TraceSource;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            ios_per_workload: 120,
+            blocks_per_plane: 16,
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(run("no-such-scenario", &tiny()).is_none());
+    }
+
+    #[test]
+    fn every_registered_scenario_runs_and_reports() {
+        let outcomes = run_all(&tiny());
+        assert_eq!(outcomes.len(), SCENARIO_NAMES.len());
+        for (outcome, name) in outcomes.iter().zip(SCENARIO_NAMES) {
+            assert_eq!(outcome.scenario, name);
+            assert!(!outcome.cells.is_empty(), "{name} produced no cells");
+            for cell in &outcome.cells {
+                assert!(
+                    cell.metrics.io_count > 0,
+                    "{name}/{} completed no I/Os",
+                    cell.label
+                );
+                assert!(cell.metrics.bandwidth_kb_per_sec > 0.0);
+            }
+            let rendered = outcome.table().render();
+            assert!(rendered.contains(name));
+        }
+    }
+
+    #[test]
+    fn enterprise_replay_covers_both_text_formats() {
+        let outcome = run("enterprise-replay", &tiny()).unwrap();
+        for label in ["sample_msr", "sample_blkparse", "msnfs1"] {
+            let cell = outcome
+                .cell(label, SchedulerKind::Spk3)
+                .unwrap_or_else(|| panic!("missing cell {label}"));
+            assert!(cell.metrics.io_count > 0);
+        }
+        // The parsed corpora replay every record they contain.
+        let mut msr = parse::sample_msr();
+        let msr_records = std::iter::from_fn(|| msr.next_record()).count() as u64;
+        assert_eq!(
+            outcome
+                .cell("sample_msr", SchedulerKind::Vas)
+                .unwrap()
+                .metrics
+                .io_count,
+            msr_records
+        );
+    }
+
+    #[test]
+    fn gc_steady_state_actually_garbage_collects() {
+        let outcome = run("gc-steady-state", &tiny()).unwrap();
+        for cell in &outcome.cells {
+            assert!(
+                cell.metrics.gc.invocations > 0,
+                "{} never triggered GC",
+                cell.scheduler
+            );
+        }
+    }
+
+    #[test]
+    fn queue_depth_sweep_covers_all_depths() {
+        let outcome = run("queue-depth-sweep", &tiny()).unwrap();
+        assert_eq!(outcome.cells.len(), 8);
+        // Deeper queues cannot hurt SPK3's bandwidth at this workload.
+        let bw = |label: &str| {
+            outcome
+                .cell(label, SchedulerKind::Spk3)
+                .unwrap()
+                .metrics
+                .bandwidth_kb_per_sec
+        };
+        assert!(bw("qd64") >= bw("qd8") * 0.8);
+    }
+}

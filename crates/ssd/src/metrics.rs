@@ -81,6 +81,15 @@ pub struct RunMetrics {
     /// Total time host requests waited for a device-queue slot, in ns (Fig 10d is
     /// this value normalized to VAS).
     pub queue_stall_ns: u64,
+    /// Peak number of host requests buffered *outside* the device queue at any
+    /// instant.  The streaming replay path bounds this by the queue depth, so a
+    /// multi-million-I/O replay runs in memory proportional to the outstanding
+    /// work, not the trace length.
+    pub peak_host_backlog: u64,
+    /// Peak number of pending simulation events at any instant; bounded by the
+    /// in-flight work (the eager replay of the seed held one arrival event per
+    /// trace record up front).
+    pub peak_pending_events: u64,
     /// Mean chip utilization: busy time / elapsed, averaged over chips (Figs 6/15).
     pub chip_utilization: f64,
     /// Inter-chip idleness (Fig 11a).
@@ -138,6 +147,8 @@ pub struct MetricsCollector {
     bus_contention: Duration,
     cell_operation: Duration,
     latency_series: Vec<(u64, u64)>,
+    peak_host_backlog: u64,
+    peak_pending_events: u64,
 }
 
 impl MetricsCollector {
@@ -164,7 +175,16 @@ impl MetricsCollector {
             bus_contention: Duration::ZERO,
             cell_operation: Duration::ZERO,
             latency_series: Vec::new(),
+            peak_host_backlog: 0,
+            peak_pending_events: 0,
         }
+    }
+
+    /// Records the replay loop's memory pressure: how many host requests sit
+    /// outside the device queue and how many simulation events are pending.
+    pub fn record_queue_pressure(&mut self, host_backlog: usize, pending_events: usize) {
+        self.peak_host_backlog = self.peak_host_backlog.max(host_backlog as u64);
+        self.peak_pending_events = self.peak_pending_events.max(pending_events as u64);
     }
 
     /// Records a host arrival.
@@ -316,6 +336,8 @@ impl MetricsCollector {
             p99_latency_ns: self.latency_hist.quantile(0.99),
             max_latency_ns: self.latency_hist.max(),
             queue_stall_ns: self.queue_stall.as_nanos(),
+            peak_host_backlog: self.peak_host_backlog,
+            peak_pending_events: self.peak_pending_events,
             chip_utilization: utilization,
             inter_chip_idleness: (1.0 - utilization).clamp(0.0, 1.0),
             intra_chip_idleness: intra_idle,

@@ -6,25 +6,36 @@
 //! (`proj*`).  Those traces are not redistributable, so this crate provides:
 //!
 //! * a self-contained trace model ([`Trace`], [`TraceRecord`]),
+//! * a streaming replay abstraction ([`TraceSource`]): every workload — in
+//!   memory, generated, or parsed — is a pull-based record source with a
+//!   declared footprint bound, so replays run in memory proportional to the
+//!   outstanding I/Os rather than the trace length,
 //! * a synthetic generator ([`SyntheticSpec`]) parameterized by the statistics
 //!   Table 1 publishes (volumes, request counts, randomness, transactional
-//!   locality),
+//!   locality), emitting eagerly ([`SyntheticSpec::generate`]) or lazily
+//!   ([`SyntheticSpec::stream`]),
 //! * the sixteen paper workloads as ready-made specifications ([`table1`]),
 //! * fixed-transfer-size sweep generators for the microbenchmark figures
 //!   (Figs 1, 15, 16, 17) in [`sweep`],
+//! * a streaming text-trace parser ([`parse`]) for MSR-Cambridge-style CSV and
+//!   blkparse-style lines, with an embedded sample corpus,
 //! * and trace analysis used to regenerate Table 1 itself ([`stats`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod parse;
+pub mod source;
 pub mod stats;
 pub mod sweep;
 pub mod synthetic;
 pub mod table1;
 pub mod trace;
 
+pub use parse::{MalformedPolicy, ParseError, ParseStats, TextTraceSource, TraceFormat};
+pub use source::{TraceCursor, TraceSource};
 pub use stats::TraceStats;
-pub use sweep::SweepSpec;
-pub use synthetic::{Locality, SyntheticSpec};
+pub use sweep::{SweepSpec, SweepStream};
+pub use synthetic::{Locality, SyntheticSpec, SyntheticStream};
 pub use table1::{paper_workloads, workload};
 pub use trace::{Trace, TraceOp, TraceRecord};

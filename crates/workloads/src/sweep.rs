@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 use sprinkler_sim::{DeterministicRng, Duration, SimTime};
 
+use crate::source::TraceSource;
 use crate::trace::{Trace, TraceOp, TraceRecord};
 
 /// A fixed-transfer-size microbenchmark.
@@ -65,35 +66,81 @@ impl SweepSpec {
         self
     }
 
-    /// Generates `count` requests deterministically from `seed`.
+    /// Generates `count` requests deterministically from `seed`, fully
+    /// materialized.  Equivalent to draining [`SweepSpec::stream`].
     pub fn generate(&self, count: u64, seed: u64) -> Trace {
-        let bytes = self.transfer_kb * 1024;
-        let footprint = self.footprint_mb * 1024 * 1024;
-        let mut rng = DeterministicRng::seeded(seed ^ 0x5357_4545_5000_0000 ^ self.transfer_kb);
-        let mut now = SimTime::ZERO;
-        let mut records = Vec::with_capacity(count as usize);
-        for id in 0..count {
-            if id % self.burst_size as u64 == 0 && id != 0 {
-                now += Duration::from_micros_f64(rng.exponential(self.mean_burst_gap_us));
-            }
-            let is_read = rng.bernoulli(self.read_fraction);
-            // Align offsets to the transfer size so requests do not straddle more
-            // pages than necessary.
-            let slots = (footprint / bytes).max(1);
-            let offset = rng.uniform_u64(slots) * bytes;
-            records.push(TraceRecord {
-                id,
-                arrival: now,
-                op: if is_read {
-                    TraceOp::Read
-                } else {
-                    TraceOp::Write
-                },
-                offset,
-                bytes,
-            });
+        self.stream(count, seed).collect_trace()
+    }
+
+    /// A lazy [`TraceSource`] yielding the same records as
+    /// [`SweepSpec::generate`], one at a time, in O(1) memory.
+    pub fn stream(&self, count: u64, seed: u64) -> SweepStream {
+        SweepStream {
+            name: format!("sweep-{}KB", self.transfer_kb),
+            spec: self.clone(),
+            rng: DeterministicRng::seeded(seed ^ 0x5357_4545_5000_0000 ^ self.transfer_kb),
+            count,
+            next_id: 0,
+            now: SimTime::ZERO,
         }
-        Trace::new(format!("sweep-{}KB", self.transfer_kb), records)
+    }
+}
+
+/// The lazily evaluating twin of [`SweepSpec::generate`].
+#[derive(Debug, Clone)]
+pub struct SweepStream {
+    name: String,
+    spec: SweepSpec,
+    rng: DeterministicRng,
+    count: u64,
+    next_id: u64,
+    now: SimTime,
+}
+
+impl TraceSource for SweepStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // A transfer larger than the configured footprint still issues one
+        // whole transfer at offset 0, so the bound is the larger of the two.
+        (self.spec.footprint_mb * 1024 * 1024).max(self.spec.transfer_kb * 1024)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.count - self.next_id)
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.next_id >= self.count {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = self.spec.transfer_kb * 1024;
+        let footprint = self.spec.footprint_mb * 1024 * 1024;
+        if id.is_multiple_of(self.spec.burst_size as u64) && id != 0 {
+            self.now +=
+                Duration::from_micros_f64(self.rng.exponential(self.spec.mean_burst_gap_us));
+        }
+        let is_read = self.rng.bernoulli(self.spec.read_fraction);
+        // Align offsets to the transfer size so requests do not straddle more
+        // pages than necessary; `slots` counts the aligned positions whose
+        // whole transfer fits inside the footprint.
+        let slots = (footprint / bytes).max(1);
+        let offset = self.rng.uniform_u64(slots) * bytes;
+        Some(TraceRecord {
+            id,
+            arrival: self.now,
+            op: if is_read {
+                TraceOp::Read
+            } else {
+                TraceOp::Write
+            },
+            offset,
+            bytes,
+        })
     }
 }
 
@@ -149,5 +196,28 @@ mod tests {
         let records = trace.records();
         assert_eq!(records[0].arrival, records[3].arrival);
         assert!(records[4].arrival > records[0].arrival);
+    }
+
+    #[test]
+    fn stream_and_generate_agree_record_for_record() {
+        let spec = SweepSpec::new(64).with_read_fraction(0.5);
+        let trace = spec.generate(120, 9);
+        let mut stream = spec.stream(120, 9);
+        assert_eq!(stream.name(), "sweep-64KB");
+        assert_eq!(stream.remaining_hint(), Some(120));
+        for expected in trace.iter() {
+            assert_eq!(stream.next_record().as_ref(), Some(expected));
+        }
+        assert!(stream.next_record().is_none());
+    }
+
+    #[test]
+    fn footprint_bound_covers_oversized_transfers() {
+        let stream = SweepSpec::new(4096).with_footprint_mb(1).stream(10, 1);
+        assert_eq!(stream.footprint_bytes(), 4096 * 1024);
+        let mut stream = stream;
+        while let Some(r) = stream.next_record() {
+            assert!(r.offset + r.bytes <= 4096 * 1024);
+        }
     }
 }

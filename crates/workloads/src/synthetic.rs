@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sprinkler_sim::{DeterministicRng, Duration, SimTime};
 
+use crate::source::TraceSource;
 use crate::trace::{Trace, TraceOp, TraceRecord};
 
 /// Transactional-locality class of a workload (last column of Table 1): how likely
@@ -135,58 +136,135 @@ impl SyntheticSpec {
         self
     }
 
-    /// Generates `count` requests deterministically from `seed`.
+    /// Generates `count` requests deterministically from `seed`, fully
+    /// materialized.  Equivalent to draining [`SyntheticSpec::stream`].
     pub fn generate(&self, count: u64, seed: u64) -> Trace {
+        self.stream(count, seed).collect_trace()
+    }
+
+    /// A lazy [`TraceSource`] that yields the same `count` records
+    /// [`SyntheticSpec::generate`] would materialize, one at a time, in O(1)
+    /// memory — the representation multi-million-I/O replays stream from.
+    pub fn stream(&self, count: u64, seed: u64) -> SyntheticStream {
         let mut rng = DeterministicRng::seeded(seed ^ 0x5052_494E_4B4C_4552);
         let footprint = self.footprint_mb * 1024 * 1024;
-        let mut records = Vec::with_capacity(count as usize);
-        let mut now = SimTime::ZERO;
-        let mut seq_read = rng.uniform_u64(footprint);
-        let mut seq_write = rng.uniform_u64(footprint);
-        let mut cluster_base = rng.uniform_u64(footprint);
-        let cluster_span: u64 = 2 * 1024 * 1024; // 2 MB neighbourhood
-
-        for id in 0..count {
-            if id % self.burst_size as u64 == 0 && id != 0 {
-                let gap = rng.exponential(self.mean_burst_gap_us);
-                now += Duration::from_micros_f64(gap);
-                if rng.bernoulli(0.5) {
-                    cluster_base = rng.uniform_u64(footprint);
-                }
-            }
-            let is_read = rng.bernoulli(self.read_fraction);
-            let (mean_kb, randomness, seq_ptr) = if is_read {
-                (self.read_mean_kb, self.read_randomness, &mut seq_read)
-            } else {
-                (self.write_mean_kb, self.write_randomness, &mut seq_write)
-            };
-            let size_kb = rng.bounded_pareto(mean_kb * 0.25, mean_kb * 6.0, 1.4);
-            let bytes = ((size_kb * 1024.0) as u64).clamp(512, 4 * 1024 * 1024);
-
-            let offset = if rng.bernoulli(self.locality.cluster_probability()) {
-                // Stay within the current cluster neighbourhood.
-                cluster_base.saturating_add(rng.uniform_u64(cluster_span)) % footprint
-            } else if rng.bernoulli(randomness) {
-                rng.uniform_u64(footprint)
-            } else {
-                let o = *seq_ptr;
-                *seq_ptr = (*seq_ptr + bytes) % footprint;
-                o
-            };
-
-            records.push(TraceRecord {
-                id,
-                arrival: now,
-                op: if is_read {
-                    TraceOp::Read
-                } else {
-                    TraceOp::Write
-                },
-                offset,
-                bytes,
-            });
+        let seq_read = rng.uniform_u64(footprint);
+        let seq_write = rng.uniform_u64(footprint);
+        let cluster_base = rng.uniform_u64(footprint);
+        SyntheticStream {
+            spec: self.clone(),
+            rng,
+            footprint,
+            count,
+            next_id: 0,
+            now: SimTime::ZERO,
+            seq_read,
+            seq_write,
+            cluster_base,
         }
-        Trace::new(self.name.clone(), records)
+    }
+}
+
+/// The lazily evaluating twin of [`SyntheticSpec::generate`]: holds only the
+/// generator state (RNG, sequential pointers, cluster base), never the records.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    spec: SyntheticSpec,
+    rng: DeterministicRng,
+    footprint: u64,
+    count: u64,
+    next_id: u64,
+    now: SimTime,
+    seq_read: u64,
+    seq_write: u64,
+    cluster_base: u64,
+}
+
+impl SyntheticStream {
+    /// 2 MB cluster neighbourhood for transactional locality.
+    const CLUSTER_SPAN: u64 = 2 * 1024 * 1024;
+}
+
+impl TraceSource for SyntheticStream {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.count - self.next_id)
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.next_id >= self.count {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let spec = &self.spec;
+        let rng = &mut self.rng;
+        let footprint = self.footprint;
+        if id.is_multiple_of(spec.burst_size as u64) && id != 0 {
+            let gap = rng.exponential(spec.mean_burst_gap_us);
+            self.now += Duration::from_micros_f64(gap);
+            if rng.bernoulli(0.5) {
+                self.cluster_base = rng.uniform_u64(footprint);
+            }
+        }
+        let is_read = rng.bernoulli(spec.read_fraction);
+        let (mean_kb, randomness, seq_ptr) = if is_read {
+            (spec.read_mean_kb, spec.read_randomness, &mut self.seq_read)
+        } else {
+            (
+                spec.write_mean_kb,
+                spec.write_randomness,
+                &mut self.seq_write,
+            )
+        };
+        let size_kb = rng.bounded_pareto(mean_kb * 0.25, mean_kb * 6.0, 1.4);
+        let bytes = ((size_kb * 1024.0) as u64)
+            .clamp(512, 4 * 1024 * 1024)
+            .min(footprint);
+        // The whole access must fit inside the footprint: `limit` is the
+        // largest admissible offset for this record's size.  The seed bounded
+        // only the offset, letting up-to-4 MB requests spill logical pages
+        // past the declared footprint.
+        let limit = footprint - bytes;
+
+        let offset = if rng.bernoulli(spec.locality.cluster_probability()) {
+            // Stay within the current cluster neighbourhood.
+            (self
+                .cluster_base
+                .saturating_add(rng.uniform_u64(Self::CLUSTER_SPAN))
+                % footprint)
+                .min(limit)
+        } else if rng.bernoulli(randomness) {
+            rng.uniform_u64(limit + 1)
+        } else {
+            let mut o = *seq_ptr;
+            if o > limit {
+                // A sequential run that would cross the footprint edge
+                // restarts at the beginning, like a wrapped circular scan.
+                o = 0;
+            }
+            *seq_ptr = (o + bytes) % footprint;
+            o
+        };
+
+        Some(TraceRecord {
+            id,
+            arrival: self.now,
+            op: if is_read {
+                TraceOp::Read
+            } else {
+                TraceOp::Write
+            },
+            offset,
+            bytes,
+        })
     }
 }
 
@@ -231,10 +309,50 @@ mod tests {
 
     #[test]
     fn offsets_stay_within_the_footprint() {
-        let spec = SyntheticSpec::new("fp").with_footprint_mb(64);
-        let trace = spec.generate(1000, 11);
+        // Regression for the footprint-spill bug: the seed bounded only the
+        // offset, so `offset + bytes` leaked past the footprint on all three
+        // offset paths (cluster, random, sequential).  The whole access must
+        // fit.
         let bound = 64 * 1024 * 1024;
-        assert!(trace.iter().all(|r| r.offset < bound));
+        for seed in [11, 12, 13] {
+            let spec = SyntheticSpec::new("fp").with_footprint_mb(64);
+            let trace = spec.generate(1000, seed);
+            for r in trace.iter() {
+                assert!(
+                    r.offset + r.bytes <= bound,
+                    "record {} spills past the footprint: offset={} bytes={}",
+                    r.id,
+                    r.offset,
+                    r.bytes
+                );
+            }
+        }
+        // Locality extremes force each offset path to dominate.
+        for locality in [Locality::Low, Locality::High] {
+            for randomness in [0.0, 1.0] {
+                let trace = SyntheticSpec::new("fp")
+                    .with_footprint_mb(16)
+                    .with_locality(locality)
+                    .with_randomness(randomness, randomness)
+                    .generate(500, 29);
+                assert!(trace.iter().all(|r| r.offset + r.bytes <= 16 * 1024 * 1024));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_and_generate_agree_record_for_record() {
+        let spec = SyntheticSpec::new("twin").with_footprint_mb(32);
+        let trace = spec.generate(300, 17);
+        let mut stream = spec.stream(300, 17);
+        assert_eq!(stream.name(), "twin");
+        assert_eq!(stream.footprint_bytes(), 32 * 1024 * 1024);
+        assert_eq!(stream.remaining_hint(), Some(300));
+        for expected in trace.iter() {
+            assert_eq!(stream.next_record().as_ref(), Some(expected));
+        }
+        assert!(stream.next_record().is_none());
+        assert_eq!(stream.remaining_hint(), Some(0));
     }
 
     #[test]
@@ -247,11 +365,15 @@ mod tests {
             .with_locality(Locality::Low);
         let seq_trace = spec_seq.generate(1000, 21);
         let rand_trace = spec_rand.generate(1000, 21);
+        // Use the specs' actual footprint for the wrap-around comparison (the
+        // seed hardcoded a 1 GiB modulus that only matched the default spec).
+        assert_eq!(spec_seq.footprint_mb, spec_rand.footprint_mb);
+        let footprint = spec_seq.footprint_mb * 1024 * 1024;
         let sequential_pairs = |t: &Trace| {
             let mut count = 0;
             let recs = t.records();
             for w in recs.windows(2) {
-                if w[1].offset == (w[0].offset + w[0].bytes) % (1024 * 1024 * 1024) {
+                if w[1].offset == (w[0].offset + w[0].bytes) % footprint {
                     count += 1;
                 }
             }

@@ -112,6 +112,17 @@ impl Trace {
             .map(|r| r.bytes)
             .sum()
     }
+
+    /// The trace's byte footprint: the maximum `offset + bytes` over all
+    /// records (0 for an empty trace).  Every record stays strictly within the
+    /// half-open range `[0, footprint_bytes())`.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.offset + r.bytes)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +180,19 @@ mod tests {
         );
         assert_eq!(trace.read_bytes(), 5096);
         assert_eq!(trace.write_bytes(), 1024);
+    }
+
+    #[test]
+    fn footprint_is_the_max_extent() {
+        assert_eq!(Trace::new("e", vec![]).footprint_bytes(), 0);
+        let trace = Trace::new(
+            "t",
+            vec![
+                rec(0, 0, TraceOp::Read, 4096, 1024),
+                rec(1, 1, TraceOp::Write, 0, 2048),
+            ],
+        );
+        assert_eq!(trace.footprint_bytes(), 5120);
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //!   channels, page-level FTL with GC, metrics, and the `IoScheduler` trait).
 //! * [`core`] — the paper's contribution: VAS, PAS, and the Sprinkler schedulers
 //!   (RIOS, FARO, SPK1/2/3).
-//! * [`workloads`] — synthetic Table 1 enterprise traces and microbenchmark sweeps.
-//! * [`experiments`] — one module per table/figure of the paper's evaluation.
+//! * [`workloads`] — synthetic Table 1 enterprise traces, microbenchmark sweeps,
+//!   the streaming `TraceSource` abstraction, and the MSR-CSV/blkparse text-trace
+//!   parser with its embedded sample corpus.
+//! * [`experiments`] — one module per table/figure of the paper's evaluation,
+//!   the streaming replay boundary (bounded admission + logical-capacity
+//!   validation), and the named-scenario registry.
 //!
 //! # Quickstart
 //!
@@ -38,7 +42,7 @@
 //! ```text
 //! cargo build --release   # every crate
 //! cargo test -q           # unit + integration + property + doc tests
-//! cargo bench --no-run    # compiles the 12 bench targets in crates/bench
+//! cargo bench --no-run    # compiles the 14 bench targets in crates/bench
 //! ```
 //!
 //! Crate dependency order (each depends on the ones before it):

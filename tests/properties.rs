@@ -7,12 +7,15 @@ use proptest::prelude::*;
 
 use sprinkler::core::reference::ReferenceScheduler;
 use sprinkler::core::SchedulerKind;
+use sprinkler::experiments::to_host_requests;
 use sprinkler::flash::{FlashGeometry, Lpn};
 use sprinkler::sim::SimTime;
 use sprinkler::ssd::request::{Direction, HostRequest, TagId};
 use sprinkler::ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
 use sprinkler::ssd::{RunMetrics, Ssd, SsdConfig};
-use sprinkler::workloads::{Locality, SyntheticSpec};
+use sprinkler::workloads::{
+    Locality, MalformedPolicy, SyntheticSpec, TextTraceSource, TraceSource,
+};
 
 fn arb_direction() -> impl Strategy<Value = Direction> {
     prop_oneof![Just(Direction::Read), Just(Direction::Write)]
@@ -312,7 +315,9 @@ proptest! {
         );
     }
 
-    /// Synthetic traces always respect their configured footprint and sizes.
+    /// Synthetic traces always respect their configured footprint and sizes:
+    /// the *whole access* (`offset + bytes`) stays inside the footprint — the
+    /// seed only bounded the offset, spilling up to 4 MB past it.
     #[test]
     fn synthetic_traces_respect_their_spec(
         read_fraction in 0.0f64..1.0,
@@ -326,8 +331,68 @@ proptest! {
         let trace = spec.generate(200, seed);
         prop_assert_eq!(trace.len(), 200);
         for record in trace.iter() {
-            prop_assert!(record.offset < footprint_mb * 1024 * 1024);
+            prop_assert!(record.offset + record.bytes <= footprint_mb * 1024 * 1024);
             prop_assert!(record.bytes >= 512);
         }
+    }
+
+    /// Lazily streamed generation is record-for-record identical to eager
+    /// generation, and the stream honours its declared footprint bound.
+    #[test]
+    fn synthetic_stream_is_the_lazy_twin_of_generate(
+        footprint_mb in 8u64..128,
+        seed in 0u64..1000,
+        locality_index in 0usize..3,
+    ) {
+        let locality = [Locality::Low, Locality::Medium, Locality::High][locality_index];
+        let spec = SyntheticSpec::new("lazy")
+            .with_footprint_mb(footprint_mb)
+            .with_locality(locality);
+        let trace = spec.generate(150, seed);
+        let mut stream = spec.stream(150, seed);
+        let bound = stream.footprint_bytes();
+        for expected in trace.iter() {
+            let got = stream.next_record();
+            prop_assert_eq!(got.as_ref(), Some(expected));
+            prop_assert!(expected.offset + expected.bytes <= bound);
+        }
+        prop_assert!(stream.next_record().is_none());
+    }
+
+    /// Text round trip: any synthetic trace written as MSR-style CSV and
+    /// parsed back through the streaming `TraceSource` boundary preserves the
+    /// converted host requests' LPN ranges, directions, and arrival order.
+    #[test]
+    fn parsed_traces_preserve_lpn_ranges_and_arrival_order(
+        footprint_mb in 8u64..128,
+        seed in 0u64..1000,
+        read_fraction in 0.0f64..1.0,
+    ) {
+        let spec = SyntheticSpec::new("roundtrip")
+            .with_read_fraction(read_fraction)
+            .with_footprint_mb(footprint_mb);
+        let trace = spec.generate(120, seed);
+        let csv = sprinkler::workloads::parse::write_msr_csv("prop", trace.iter());
+        let mut source = TextTraceSource::from_text("roundtrip", csv)
+            .with_policy(MalformedPolicy::Error);
+
+        let page_size = 2048;
+        let original = to_host_requests(&trace, page_size);
+        let mut index = 0usize;
+        let mut last_arrival = SimTime::ZERO;
+        while let Some(record) = source.next_record() {
+            let request = &original[index];
+            // Same pages, same direction, same order.
+            let (lpn, pages) = record.pages(page_size);
+            prop_assert_eq!(lpn, request.start_lpn.value());
+            prop_assert_eq!(pages, request.pages);
+            prop_assert_eq!(record.op.is_read(), request.direction.is_read());
+            // Arrival order is preserved and nondecreasing.
+            prop_assert!(record.arrival >= last_arrival);
+            last_arrival = record.arrival;
+            index += 1;
+        }
+        prop_assert!(source.error().is_none(), "round trip must parse cleanly");
+        prop_assert_eq!(index, original.len());
     }
 }
