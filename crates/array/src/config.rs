@@ -1,0 +1,170 @@
+//! Array configuration.
+
+use serde::{Deserialize, Serialize};
+use sprinkler_ssd::SsdConfig;
+
+use crate::stripe::StripeMap;
+
+/// Upper bound on array width: each device replays on its own scoped thread,
+/// so the width is also the replay's thread fan-out.
+pub const MAX_DEVICES: usize = 64;
+
+/// Configuration of a striped array of identical Sprinkler SSDs.
+///
+/// # Example
+///
+/// ```
+/// use sprinkler_array::ArrayConfig;
+/// use sprinkler_ssd::SsdConfig;
+///
+/// let config = ArrayConfig::new(SsdConfig::paper_default())
+///     .with_devices(4)
+///     .with_stripe_kb(256);
+/// config.validate().unwrap();
+/// assert_eq!(config.stripe_map().devices(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Configuration every device of the array runs with.
+    pub device: SsdConfig,
+    /// Number of devices (array width).
+    pub devices: usize,
+    /// Stripe size in bytes; must be a multiple of the device page size.
+    pub stripe_bytes: u64,
+}
+
+impl ArrayConfig {
+    /// Creates a single-device array with a 1 MiB stripe over `device`.
+    pub fn new(device: SsdConfig) -> Self {
+        ArrayConfig {
+            device,
+            devices: 1,
+            stripe_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Sets the array width.
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Sets the stripe size in KiB.
+    pub fn with_stripe_kb(mut self, kb: u64) -> Self {
+        self.stripe_bytes = kb * 1024;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.device
+            .validate()
+            .map_err(|e| format!("invalid device config: {e}"))?;
+        if self.devices == 0 {
+            return Err("an array needs at least one device".to_string());
+        }
+        if self.devices > MAX_DEVICES {
+            return Err(format!(
+                "array width {} exceeds the {MAX_DEVICES}-device replay fan-out limit",
+                self.devices
+            ));
+        }
+        let page = self.device.page_size() as u64;
+        if self.stripe_bytes < page {
+            return Err(format!(
+                "stripe of {} bytes is smaller than the {page}-byte flash page",
+                self.stripe_bytes
+            ));
+        }
+        if !self.stripe_bytes.is_multiple_of(page) {
+            return Err(format!(
+                "stripe of {} bytes is not a multiple of the {page}-byte flash page, so the \
+                 LPN map would not be a bijection",
+                self.stripe_bytes
+            ));
+        }
+        if self.stripes_per_device() == 0 {
+            return Err(format!(
+                "stripe of {} bytes exceeds the device's logical capacity of {} bytes",
+                self.stripe_bytes,
+                self.device.geometry.capacity_bytes()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whole stripes each device can hold within its logical capacity.
+    pub fn stripes_per_device(&self) -> u64 {
+        self.device.geometry.capacity_bytes() / self.stripe_bytes
+    }
+
+    /// The array's usable logical capacity in bytes: whole stripes only, so a
+    /// source whose footprint fits this bound is guaranteed to map every
+    /// device's share within that device's own logical capacity.
+    pub fn logical_capacity_bytes(&self) -> u64 {
+        self.devices as u64 * self.stripes_per_device() * self.stripe_bytes
+    }
+
+    /// The striping map this configuration induces.
+    pub fn stripe_map(&self) -> StripeMap {
+        StripeMap::new(self.devices, self.stripe_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_a_valid_single_device_array() {
+        let config = ArrayConfig::new(SsdConfig::paper_default());
+        config.validate().unwrap();
+        assert_eq!(config.devices, 1);
+        assert!(config.logical_capacity_bytes() <= config.device.geometry.capacity_bytes());
+        assert!(config.logical_capacity_bytes() > 0);
+    }
+
+    #[test]
+    fn capacity_scales_with_width_and_floors_to_whole_stripes() {
+        let device = SsdConfig::paper_default();
+        let one = ArrayConfig::new(device.clone()).with_stripe_kb(1024);
+        let four = one.clone().with_devices(4);
+        assert_eq!(
+            four.logical_capacity_bytes(),
+            4 * one.logical_capacity_bytes()
+        );
+        // Whole-stripe flooring keeps every device's share within its own
+        // capacity by construction.
+        assert!(one.stripes_per_device() * one.stripe_bytes <= device.geometry.capacity_bytes());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let device = SsdConfig::small_test();
+        assert!(ArrayConfig::new(device.clone())
+            .with_devices(0)
+            .validate()
+            .is_err());
+        assert!(ArrayConfig::new(device.clone())
+            .with_devices(MAX_DEVICES + 1)
+            .validate()
+            .is_err());
+        // Not a page multiple.
+        let mut config = ArrayConfig::new(device.clone());
+        config.stripe_bytes = 3000;
+        assert!(config.validate().is_err());
+        // Smaller than a page.
+        let mut config = ArrayConfig::new(device.clone());
+        config.stripe_bytes = 512;
+        assert!(config.validate().is_err());
+        // Bigger than the device.
+        let capacity = device.geometry.capacity_bytes();
+        let mut config = ArrayConfig::new(device);
+        config.stripe_bytes = capacity * 2;
+        assert!(config.validate().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Multi-SSD array frontend for the Sprinkler reproduction.
+//!
+//! The paper scales one Sprinkler device to 1024 chips; a production system
+//! serving millions of users runs *many* such devices behind a host-level
+//! sharding layer.  This crate is that layer, kept deliberately simple and
+//! deterministic so scheduler comparisons stay attributable:
+//!
+//! * [`StripeMap`] — chunked round-robin striping of one logical byte address
+//!   space over N devices, with an exact LPN ↔ (device, local LPN) bijection
+//!   and loss-free splitting of requests that straddle stripe boundaries;
+//! * [`StripedFanout`] / [`DeviceSource`](splitter::DeviceSource) — splits one
+//!   streaming [`TraceSource`](sprinkler_workloads::TraceSource) into
+//!   per-device sub-sources that each preserve nondecreasing arrival order;
+//! * [`run_array`] — parallel per-device replay: every device runs
+//!   `Ssd::run_stream` under its own bounded admission on its own scoped
+//!   thread;
+//! * [`ArrayMetrics`] — the merged host-level view (summed totals, slowest
+//!   device elapsed, weighted mean + exactly merged p99 latency) plus
+//!   per-device breakdown and [`DeviceSkew`] imbalance statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use sprinkler_array::{run_array, ArrayConfig};
+//! use sprinkler_core::SchedulerKind;
+//! use sprinkler_ssd::SsdConfig;
+//! use sprinkler_workloads::SyntheticSpec;
+//!
+//! let config = ArrayConfig::new(SsdConfig::paper_default().with_blocks_per_plane(16))
+//!     .with_devices(4)
+//!     .with_stripe_kb(256);
+//! let spec = SyntheticSpec::new("demo").with_footprint_mb(64);
+//! let metrics = run_array(&config, SchedulerKind::Spk3, &mut spec.stream(100, 7)).unwrap();
+//! assert_eq!(metrics.device_count, 4);
+//! assert!(metrics.bandwidth_kb_per_sec > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod metrics;
+pub mod replay;
+pub mod splitter;
+pub mod stripe;
+
+pub use config::{ArrayConfig, MAX_DEVICES};
+pub use metrics::{ArrayMetrics, DeviceSkew};
+pub use replay::{run_array, ArrayError};
+pub use splitter::StripedFanout;
+pub use stripe::{Fragment, StripeMap};

@@ -1,0 +1,297 @@
+//! Splitting one [`TraceSource`] into per-device sub-sources.
+//!
+//! [`StripedFanout`] wraps a single time-ordered trace source and exposes one
+//! [`DeviceSource`] per device.  Each pull on a device source first drains that
+//! device's buffered fragments; when empty, it pulls the shared underlying
+//! source, splits the record at stripe boundaries via the [`StripeMap`], and
+//! routes the fragments to their devices' buffers.  Because every fragment of
+//! a record carries the record's arrival time and the underlying source yields
+//! nondecreasing arrivals, every per-device sub-stream is itself a valid
+//! [`TraceSource`]: nondecreasing arrivals, fragments within the device's
+//! local footprint bound.
+//!
+//! The buffers hold only the skew between device replay positions: a fragment
+//! routed to device B while device A is pulling stays buffered until B's
+//! bounded-admission loop gets to it.  With a buffer cap
+//! ([`StripedFanout::with_buffer_cap`], which the array replay always sets), a
+//! device that would pump past the cap *waits* for the other devices to drain
+//! instead — so even a device whose striped share ends early (it must consume
+//! the rest of the trace to learn that) cannot balloon the buffers beyond the
+//! cap, preserving the workspace's O(outstanding work) streaming-memory
+//! guarantee.  The cap requires every sub-source to drain concurrently (as
+//! `run_array` does); an uncapped fanout — the default — also supports
+//! sequential draining, buffering whatever skew that creates.
+//! [`StripedFanout::peak_buffered`] reports the high-water mark so
+//! imbalance-driven buffering is observable either way.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use sprinkler_workloads::{TraceRecord, TraceSource};
+
+use crate::stripe::StripeMap;
+
+struct FanoutInner<'a> {
+    source: &'a mut (dyn TraceSource + Send),
+    queues: Vec<VecDeque<TraceRecord>>,
+    /// Next per-device fragment id; each sub-stream renumbers its fragments
+    /// 0, 1, 2, … so device replays see dense, monotonic request ids.
+    next_ids: Vec<u64>,
+    buffered: usize,
+    peak_buffered: usize,
+    exhausted: bool,
+}
+
+impl FanoutInner<'_> {
+    /// Pulls one record from the underlying source and routes its fragments.
+    /// Returns `false` when the source is exhausted.
+    fn pump(&mut self, map: &StripeMap) -> bool {
+        let Some(record) = self.source.next_record() else {
+            return false;
+        };
+        for fragment in map.split(&record) {
+            let id = self.next_ids[fragment.device];
+            self.next_ids[fragment.device] += 1;
+            self.queues[fragment.device].push_back(TraceRecord {
+                id,
+                arrival: record.arrival,
+                op: record.op,
+                offset: fragment.offset,
+                bytes: fragment.bytes,
+            });
+            self.buffered += 1;
+        }
+        self.peak_buffered = self.peak_buffered.max(self.buffered);
+        true
+    }
+}
+
+/// Splits one trace source into `devices` striped sub-sources (see the module
+/// docs).  Shareable across the device replay threads by reference.
+pub struct StripedFanout<'a> {
+    map: StripeMap,
+    names: Vec<String>,
+    footprints: Vec<u64>,
+    /// Fragments buffered across all queues before a pumping device must wait
+    /// for consumers instead; `usize::MAX` (the default) disables waiting.
+    buffer_cap: usize,
+    inner: Mutex<FanoutInner<'a>>,
+    /// Signalled whenever a fragment is consumed, the source is exhausted, or
+    /// a pump delivers fragments — wakes devices parked on the cap.
+    drained: Condvar,
+}
+
+impl std::fmt::Debug for StripedFanout<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedFanout")
+            .field("map", &self.map)
+            .field("names", &self.names)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> StripedFanout<'a> {
+    /// Wraps `source`, dealing its records across `map.devices()` sub-sources.
+    pub fn new(source: &'a mut (dyn TraceSource + Send), map: StripeMap) -> Self {
+        let devices = map.devices();
+        let name = source.name().to_string();
+        let footprint = source.footprint_bytes();
+        StripedFanout {
+            names: (0..devices)
+                .map(|d| format!("{name}[{d}/{devices}]"))
+                .collect(),
+            footprints: (0..devices)
+                .map(|d| map.local_footprint(footprint, d))
+                .collect(),
+            buffer_cap: usize::MAX,
+            inner: Mutex::new(FanoutInner {
+                source,
+                queues: vec![VecDeque::new(); devices],
+                next_ids: vec![0; devices],
+                buffered: 0,
+                peak_buffered: 0,
+                exhausted: false,
+            }),
+            drained: Condvar::new(),
+            map,
+        }
+    }
+
+    /// Bounds the total fragments buffered across all device queues: a device
+    /// pulling past the cap waits for the others to drain instead of pumping
+    /// further, keeping replay memory O(cap) even when one device's striped
+    /// share ends long before the trace does.  **Requires concurrent
+    /// draining** — with a cap set, a sub-source pulled while no other thread
+    /// drains the siblings stalls once the cap is hit (the array replay always
+    /// drains all devices concurrently).
+    pub fn with_buffer_cap(mut self, cap: usize) -> Self {
+        self.buffer_cap = cap.max(1);
+        self
+    }
+
+    /// The striping map in use.
+    pub fn map(&self) -> &StripeMap {
+        &self.map
+    }
+
+    /// The sub-source for one device.  Multiple device sources may pull
+    /// concurrently from different threads.
+    pub fn device_source(&self, device: usize) -> DeviceSource<'_, 'a> {
+        assert!(device < self.map.devices(), "device index out of range");
+        DeviceSource {
+            fanout: self,
+            device,
+        }
+    }
+
+    /// High-water mark of fragments buffered across all devices — the memory
+    /// cost of replay-position skew between devices.
+    pub fn peak_buffered(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("fanout lock poisoned")
+            .peak_buffered
+    }
+}
+
+/// The [`TraceSource`] view of one device's share of a striped trace.
+#[derive(Debug)]
+pub struct DeviceSource<'f, 'a> {
+    fanout: &'f StripedFanout<'a>,
+    device: usize,
+}
+
+impl TraceSource for DeviceSource<'_, '_> {
+    fn name(&self) -> &str {
+        &self.fanout.names[self.device]
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.fanout.footprints[self.device]
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let mut inner = self.fanout.inner.lock().expect("fanout lock poisoned");
+        loop {
+            if let Some(record) = inner.queues[self.device].pop_front() {
+                inner.buffered -= 1;
+                // A device parked on the cap can pump again.
+                self.fanout.drained.notify_all();
+                return Some(record);
+            }
+            if inner.exhausted {
+                return None;
+            }
+            if inner.buffered >= self.fanout.buffer_cap {
+                // Back-pressure: wait (releasing the lock) for consumers to
+                // drain before pumping more of the trace into their queues.
+                // The timeout is liveness insurance against a missed wakeup;
+                // the loop re-checks every condition on wake.
+                let (guard, _) = self
+                    .fanout
+                    .drained
+                    .wait_timeout(inner, std::time::Duration::from_millis(50))
+                    .expect("fanout lock poisoned");
+                inner = guard;
+                continue;
+            }
+            if !inner.pump(&self.fanout.map) {
+                inner.exhausted = true;
+                // Wake parked devices so they observe exhaustion and finish.
+                self.fanout.drained.notify_all();
+                return None;
+            }
+            // The pump may have delivered fragments to a parked device.
+            self.fanout.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinkler_sim::SimTime;
+    use sprinkler_workloads::{SyntheticSpec, Trace, TraceOp};
+
+    fn rec(id: u64, at_us: u64, offset: u64, bytes: u64) -> TraceRecord {
+        TraceRecord {
+            id,
+            arrival: SimTime::from_micros(at_us),
+            op: TraceOp::Write,
+            offset,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn fanout_routes_and_renumbers_fragments() {
+        // 2 devices, 1000-byte stripes: offsets [0,1000) → dev 0,
+        // [1000,2000) → dev 1, [2000,3000) → dev 0, ...
+        let trace = Trace::new(
+            "t",
+            vec![
+                rec(0, 0, 0, 500),     // dev 0
+                rec(1, 5, 1500, 400),  // dev 1
+                rec(2, 9, 2500, 1000), // straddle: dev 0 [500) + dev 1 [500)
+            ],
+        );
+        let mut source = trace.source();
+        let fanout = StripedFanout::new(&mut source, StripeMap::new(2, 1000));
+        let mut dev0 = fanout.device_source(0);
+        let mut dev1 = fanout.device_source(1);
+
+        let a = dev0.next_record().unwrap();
+        assert_eq!((a.id, a.offset, a.bytes), (0, 0, 500));
+        // dev0's second fragment comes from record 2's head.
+        let b = dev0.next_record().unwrap();
+        assert_eq!((b.id, b.offset, b.bytes), (1, 1500, 500));
+        assert!(dev0.next_record().is_none());
+
+        // dev1 sees record 1 (global 1500 → local stripe 0, offset 500) and
+        // record 2's tail (global 3000 → local stripe 1), renumbered 0 and 1.
+        let c = dev1.next_record().unwrap();
+        assert_eq!((c.id, c.offset, c.bytes), (0, 500, 400));
+        let d = dev1.next_record().unwrap();
+        assert_eq!((d.id, d.offset, d.bytes), (1, 1000, 500));
+        assert!(dev1.next_record().is_none());
+        assert!(fanout.peak_buffered() >= 1);
+    }
+
+    #[test]
+    fn sub_streams_keep_nondecreasing_arrivals_and_footprints() {
+        let spec = SyntheticSpec::new("fan").with_footprint_mb(8);
+        let mut source = spec.stream(400, 0xFA);
+        let map = StripeMap::new(3, 64 * 1024);
+        let fanout = StripedFanout::new(&mut source, map);
+        for device in 0..3 {
+            let mut sub = fanout.device_source(device);
+            let bound = sub.footprint_bytes();
+            let mut last = SimTime::ZERO;
+            let mut next_id = 0;
+            while let Some(record) = sub.next_record() {
+                assert!(record.arrival >= last, "arrivals must be nondecreasing");
+                assert!(record.offset + record.bytes <= bound, "fragment spills");
+                assert_eq!(record.id, next_id, "ids must be dense");
+                last = record.arrival;
+                next_id += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn byte_totals_are_preserved_across_the_fanout() {
+        let spec = SyntheticSpec::new("sum").with_footprint_mb(16);
+        let trace = spec.generate(300, 7);
+        let total: u64 = trace.iter().map(|r| r.bytes).sum();
+        let mut source = trace.source();
+        let fanout = StripedFanout::new(&mut source, StripeMap::new(4, 128 * 1024));
+        let mut split_total = 0;
+        for device in 0..4 {
+            let mut sub = fanout.device_source(device);
+            while let Some(record) = sub.next_record() {
+                split_total += record.bytes;
+            }
+        }
+        assert_eq!(split_total, total);
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the array scale-out sweep at bench scale and times a
+//! representative striped replay, so regressions in the multi-SSD frontend —
+//! the splitter's fan-out cost and the per-device parallel replay — are
+//! visible alongside the single-device benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::bench_scale;
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let outcome = scenario::run("array-scaleout", &scale).expect("array-scaleout is registered");
+    println!("{}", outcome.table().render());
+
+    let mut group = c.benchmark_group("array_scaleout");
+    group.sample_size(10);
+    for devices in [1usize, 4, 16] {
+        group.bench_function(&format!("spk3_n{devices}_256kb"), |b| {
+            b.iter(|| scenario::array_scaleout_metrics(&scale, devices, SchedulerKind::Spk3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,32 +1,48 @@
-//! Regenerates the repository benchmark baselines (`BENCH_seed.json` and
-//! `BENCH_scaling.json`) through the parallel experiment runner, so that
-//! commitment-stream-changing PRs can refresh every baseline with one command
-//! instead of hand-running each bench target:
+//! Regenerates — and gates on — the repository benchmark baselines
+//! (`BENCH_seed.json`, `BENCH_scaling.json`, `BENCH_array.json`) through the
+//! parallel experiment runner.
 //!
 //! ```sh
+//! # Rewrite all three baselines (commitment-stream-changing PRs):
 //! cargo run --release -p sprinkler_experiments --bin regen_baselines -- \
 //!     --label "PR N: what changed the streams"
+//!
+//! # CI perf-regression gate: recompute the deterministic metrics_check
+//! # sections and diff them against the committed files (nonzero exit on
+//! # drift):
+//! cargo run --release -p sprinkler_experiments --bin regen_baselines -- --check
+//!
+//! # Fire-and-forget smoke of the parallel fan-out paths:
+//! cargo run --release -p sprinkler_experiments --bin regen_baselines -- --quick
 //! ```
 //!
 //! `--label` stamps the rewritten files with the change they baseline (an
-//! unlabeled run says so in the output).  With `--quick`, runs the quick-scale
-//! fig10 panel and a reduced scaling panel through the same parallel path and
-//! prints the tables without writing any file — the CI smoke mode that keeps
-//! the fan-out code exercised.
+//! unlabeled run says so in the output).  Each baseline file carries two kinds
+//! of content: *timings* (machine-dependent, informational) and a
+//! `metrics_check` object of **simulated** figures — bandwidth ratios,
+//! aggregate KB/s — that are deterministic across machines.  `--check`
+//! recomputes only the latter and compares within [`CHECK_TOLERANCE`], so a
+//! scheduler or replay change that silently shifts any headline result fails
+//! CI until the baselines are regenerated deliberately.
 
 use std::time::Instant;
 
 use sprinkler_core::reference::ReferenceScheduler;
 use sprinkler_core::SchedulerKind;
-use sprinkler_experiments::micro::{bench_scale, representative_run, standing_scene};
+use sprinkler_experiments::micro::{representative_run, standing_scene};
 use sprinkler_experiments::runner::ExperimentScale;
-use sprinkler_experiments::{fig10, fig15_scaling};
+use sprinkler_experiments::{fig10, fig15_scaling, scenario};
 use sprinkler_sim::SimTime;
 use sprinkler_ssd::scheduler::{IoScheduler, SchedulerContext};
 
 /// Matches the vendored criterion shim: one untimed warmup, then `samples`
 /// timed iterations.
 const SAMPLES: usize = 10;
+
+/// Relative tolerance of the `--check` gate.  The simulated metrics are
+/// deterministic; the slack only absorbs the 4-decimal rounding the baseline
+/// files store.
+const CHECK_TOLERANCE: f64 = 1e-3;
 
 struct Timing {
     mean_ns: f64,
@@ -102,6 +118,84 @@ fn today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic metric recipes: each baseline's `metrics_check` keys map to
+// simulated figures recomputed by exactly one function below, shared by the
+// regeneration path and the `--check` gate.
+// ---------------------------------------------------------------------------
+
+/// `BENCH_seed.json`: the fig10 headline comparison at bench scale.
+fn seed_metrics() -> Vec<(&'static str, f64)> {
+    let comparison = fig10::run(&ExperimentScale::bench(), None);
+    let bandwidth_x = comparison.bandwidth_speedup(SchedulerKind::Spk3, SchedulerKind::Vas);
+    let latency_pct = 100.0 * comparison.latency_reduction(SchedulerKind::Spk3, SchedulerKind::Vas);
+    vec![
+        ("fig10_spk3_vas_bandwidth_x", bandwidth_x),
+        ("fig10_spk3_vas_latency_reduction_pct", latency_pct),
+    ]
+}
+
+/// `BENCH_scaling.json`: the quick-scale scaling panel at 16 and 64 chips.
+fn scaling_metrics() -> Vec<(&'static str, f64)> {
+    let result = fig15_scaling::run(&ExperimentScale::quick(), Some(&[16, 64]), Some(&[32]));
+    let point = |chips, kind| {
+        result
+            .point(chips, 32, kind)
+            .expect("swept point exists")
+            .bandwidth_kb_per_sec
+    };
+    vec![
+        ("scaling_vas_16chips_kbps", point(16, SchedulerKind::Vas)),
+        ("scaling_vas_64chips_kbps", point(64, SchedulerKind::Vas)),
+        ("scaling_spk3_16chips_kbps", point(16, SchedulerKind::Spk3)),
+        ("scaling_spk3_64chips_kbps", point(64, SchedulerKind::Spk3)),
+        (
+            "scaling_spk3_vas_speedup_64chips",
+            result.speedup(64, 32).expect("both schedulers ran"),
+        ),
+    ]
+}
+
+/// `BENCH_array.json`: the array scale-out sweep at quick scale.
+fn array_metrics() -> Vec<(&'static str, f64)> {
+    let scale = ExperimentScale::quick();
+    let spk3 = |devices| scenario::array_scaleout_metrics(&scale, devices, SchedulerKind::Spk3);
+    let n1 = spk3(1);
+    let n4 = spk3(4);
+    let n16 = spk3(16);
+    let vas16 = scenario::array_scaleout_metrics(&scale, 16, SchedulerKind::Vas);
+    vec![
+        ("array_spk3_n1_kbps", n1.bandwidth_kb_per_sec),
+        ("array_spk3_n4_kbps", n4.bandwidth_kb_per_sec),
+        ("array_spk3_n16_kbps", n16.bandwidth_kb_per_sec),
+        ("array_vas_n16_kbps", vas16.bandwidth_kb_per_sec),
+        (
+            "array_spk3_scaleout_x_n16_over_n1",
+            n16.bandwidth_kb_per_sec / n1.bandwidth_kb_per_sec,
+        ),
+        ("array_spk3_n16_io_imbalance", n16.skew.io_imbalance),
+    ]
+}
+
+/// Renders a metrics_check object (4-decimal values; the gate's tolerance
+/// absorbs the rounding).
+fn metrics_check_json(metrics: &[(&str, f64)]) -> String {
+    let mut out = String::from("  \"metrics_check\": {\n");
+    out.push_str(&format!(
+        "    \"tolerance_rel\": {CHECK_TOLERANCE},\n    \"note\": \"simulated figures, deterministic across machines; checked by regen_baselines --check\",\n"
+    ));
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("    \"{key}\": {value:.4}{comma}\n"));
+    }
+    out.push_str("  }");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Baseline regeneration
+// ---------------------------------------------------------------------------
+
 fn regen_seed_baseline(label: &str, date: &str) -> String {
     println!("== BENCH_seed.json: fig10 at bench scale ==");
     let spk3 = time_runs(|| {
@@ -110,13 +204,12 @@ fn regen_seed_baseline(label: &str, date: &str) -> String {
     println!("fig10/spk3_run mean {:.1} ns", spk3.mean_ns);
 
     let start = Instant::now();
-    let comparison = fig10::run(&bench_scale(), None);
+    let metrics = seed_metrics();
     let panel_s = start.elapsed().as_secs_f64();
-    let bandwidth_x = comparison.bandwidth_speedup(SchedulerKind::Spk3, SchedulerKind::Vas);
-    let latency_pct = 100.0 * comparison.latency_reduction(SchedulerKind::Spk3, SchedulerKind::Vas);
+    let bandwidth_x = metrics[0].1;
+    let latency_pct = metrics[1].1;
     println!(
-        "fig10 panel ({} cells, parallel): {panel_s:.2} s; SPK3/VAS bandwidth {bandwidth_x:.2}x, latency -{latency_pct:.1}%",
-        comparison.cells.len()
+        "fig10 panel (parallel): {panel_s:.2} s; SPK3/VAS bandwidth {bandwidth_x:.2}x, latency -{latency_pct:.1}%"
     );
 
     format!(
@@ -146,17 +239,19 @@ fn regen_seed_baseline(label: &str, date: &str) -> String {
     "paper_min_pct": 56.6,
     "fig10_panel_wall_clock_s": {panel_s:.2},
     "note": "bench-scale run overshoots the paper's bandwidth ratio; directionally correct"
-  }}
+  }},
+{metrics_check}
 }}
 "#,
         mean = spk3.mean_ns,
         min = spk3.min_ns,
         max = spk3.max_ns,
+        metrics_check = metrics_check_json(&metrics),
     )
 }
 
 fn regen_scaling_baseline(label: &str, date: &str) -> String {
-    let scale = bench_scale();
+    let scale = ExperimentScale::bench();
     println!("== BENCH_scaling.json: scaling_1024 + scheduler_rounds ==");
     let mut scaling_results = String::new();
     for (i, kind) in [SchedulerKind::Vas, SchedulerKind::Spk3].iter().enumerate() {
@@ -221,6 +316,7 @@ fn regen_scaling_baseline(label: &str, date: &str) -> String {
         "fig15_scaling full panel ({} points, {workers} workers): {full_s:.2} s",
         result.points.len()
     );
+    let metrics = scaling_metrics();
 
     format!(
         r#"{{
@@ -249,10 +345,139 @@ fn regen_scaling_baseline(label: &str, date: &str) -> String {
     "wall_clock_s": {full_s:.2},
     "worker_threads": {workers},
     "budget_s": 60
-  }}
+  }},
+{metrics_check}
 }}
 "#,
+        metrics_check = metrics_check_json(&metrics),
     )
+}
+
+fn regen_array_baseline(label: &str, date: &str) -> String {
+    println!("== BENCH_array.json: array-scaleout (bench-scale timing, quick-scale metrics) ==");
+    // The timed body runs at bench scale — the same recipe the
+    // `array_scaleout/spk3_n4_256kb` criterion bench times — so the committed
+    // mean is directly comparable to a local `cargo bench` run.  The
+    // metrics_check figures below stay at quick scale, matching the scenario
+    // CI runs.
+    let timing = time_runs(|| {
+        std::hint::black_box(scenario::array_scaleout_metrics(
+            &ExperimentScale::bench(),
+            4,
+            SchedulerKind::Spk3,
+        ));
+    });
+    println!("array_scaleout/spk3_n4_256kb mean {:.1} ns", timing.mean_ns);
+    let start = Instant::now();
+    let metrics = array_metrics();
+    let panel_s = start.elapsed().as_secs_f64();
+    println!(
+        "array metrics (n1/n4/n16): {panel_s:.2} s; SPK3 n16/n1 scale-out {:.2}x",
+        metrics[4].1
+    );
+
+    format!(
+        r#"{{
+  "baseline": "{label}",
+  "date": "{date}",
+  "command": "cargo run --release -p sprinkler_experiments --bin regen_baselines -- --label '...'",
+  "scenario": "array-scaleout: one 256KB-transfer workload striped over n devices at a fixed 64-chip budget and fixed 512MB footprint (32KB stripes); timing at bench scale to match the array_scaleout criterion bench, metrics_check at quick scale to match the CI scenario run",
+  "profile": "release, 1 untimed warmup then {SAMPLES} timed iterations (regen_baselines)",
+  "results": [
+    {{
+      "bench": "array_scaleout/spk3_n4_256kb",
+      "mean_ns": {mean:.1},
+      "min_ns": {min:.1},
+      "max_ns": {max:.1},
+      "samples": {SAMPLES}
+    }}
+  ],
+{metrics_check}
+}}
+"#,
+        mean = timing.mean_ns,
+        min = timing.min_ns,
+        max = timing.max_ns,
+        metrics_check = metrics_check_json(&metrics),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The --check gate
+// ---------------------------------------------------------------------------
+
+/// Pulls the number following `"key":` out of a baseline file written by this
+/// binary (flat keys, one per line — not a general JSON parser).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Recomputes one baseline's deterministic metrics and diffs them against the
+/// committed file.  Returns the number of drifted or missing keys.
+fn check_file(root: &std::path::Path, file: &str, expected: &[(&str, f64)]) -> usize {
+    let path = root.join(file);
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(content) => content,
+        Err(error) => {
+            println!("FAIL {file}: cannot read {}: {error}", path.display());
+            return expected.len();
+        }
+    };
+    let mut drifted = 0;
+    for (key, actual) in expected {
+        match extract_number(&committed, key) {
+            None => {
+                println!("FAIL {file}: key {key} missing (regenerate the baselines)");
+                drifted += 1;
+            }
+            Some(baseline) => {
+                let scale = baseline.abs().max(1e-12);
+                let rel = (actual - baseline).abs() / scale;
+                if rel > CHECK_TOLERANCE {
+                    println!(
+                        "FAIL {file}: {key} drifted: baseline {baseline:.4}, recomputed \
+                         {actual:.4} (rel {rel:.2e} > {CHECK_TOLERANCE:.0e})"
+                    );
+                    drifted += 1;
+                } else {
+                    println!("  ok {file}: {key} = {actual:.4} (baseline {baseline:.4})");
+                }
+            }
+        }
+    }
+    drifted
+}
+
+/// The CI perf-regression gate: recompute every deterministic metrics_check
+/// value and compare against the committed baselines.  Exits nonzero on any
+/// drift so a change that shifts a headline simulated result cannot land
+/// without a deliberate re-baseline.
+fn check_gate() -> ! {
+    let root = workspace_root();
+    let start = Instant::now();
+    let mut drifted = 0;
+    drifted += check_file(&root, "BENCH_seed.json", &seed_metrics());
+    drifted += check_file(&root, "BENCH_scaling.json", &scaling_metrics());
+    drifted += check_file(&root, "BENCH_array.json", &array_metrics());
+    let elapsed = start.elapsed().as_secs_f64();
+    if drifted > 0 {
+        println!(
+            "perf gate FAILED: {drifted} metric(s) drifted ({elapsed:.2} s). If the change is \
+             intentional, regenerate with: cargo run --release -p sprinkler_experiments --bin \
+             regen_baselines -- --label '<PR description>'"
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate OK: all committed baseline metrics reproduced ({elapsed:.2} s)");
+    std::process::exit(0);
 }
 
 fn quick_smoke() {
@@ -298,6 +523,9 @@ fn quick_smoke() {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|arg| arg == "--check") {
+        check_gate();
+    }
     if args.iter().any(|arg| arg == "--quick") {
         quick_smoke();
         return;
@@ -320,5 +548,7 @@ fn main() {
     std::fs::write(root.join("BENCH_seed.json"), seed).expect("write BENCH_seed.json");
     let scaling = regen_scaling_baseline(&label, &date);
     std::fs::write(root.join("BENCH_scaling.json"), scaling).expect("write BENCH_scaling.json");
-    println!("rewrote BENCH_seed.json and BENCH_scaling.json ({label})");
+    let array = regen_array_baseline(&label, &date);
+    std::fs::write(root.join("BENCH_array.json"), array).expect("write BENCH_array.json");
+    println!("rewrote BENCH_seed.json, BENCH_scaling.json, and BENCH_array.json ({label})");
 }

@@ -15,11 +15,9 @@ use sprinkler_experiments::{scenario, SCENARIO_NAMES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        ExperimentScale::quick()
-    } else {
-        ExperimentScale::full()
-    };
+    // Scale flags (--quick / --bench / --full) resolve through the shared
+    // helper so every binary agrees on what each mode means.
+    let scale = ExperimentScale::from_args(args.iter().map(String::as_str));
     let requested: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

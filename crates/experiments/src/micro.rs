@@ -17,14 +17,11 @@ use sprinkler_workloads::SyntheticSpec;
 
 use crate::runner::{run_one, ExperimentScale};
 
-/// The scale used by bench targets and the baseline regenerator: small enough
-/// that a timed run finishes in milliseconds, large enough that every
-/// qualitative trend of the paper still shows.
+/// The scale used by bench targets and the baseline regenerator — an alias
+/// for [`ExperimentScale::bench`], the shared scale-resolution source of
+/// truth.
 pub fn bench_scale() -> ExperimentScale {
-    ExperimentScale {
-        ios_per_workload: 200,
-        blocks_per_plane: 32,
-    }
+    ExperimentScale::bench()
 }
 
 /// A single small simulation run used as the timed measurement body by both the

@@ -20,6 +20,21 @@ pub struct ExperimentScale {
     pub blocks_per_plane: usize,
 }
 
+/// The named scales experiments run at.  Every scenario, binary, and bench
+/// resolves its knobs through [`ExperimentScale::resolve`] (or
+/// [`ExperimentScale::from_args`] for CLI flags), so `--quick` semantics are
+/// defined in exactly one place and cannot diverge per consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleMode {
+    /// CI/smoke scale: seconds-range runs preserving every qualitative trend.
+    Quick,
+    /// Benchmark scale: milliseconds-range timed bodies (`cargo bench` and the
+    /// committed baselines).
+    Bench,
+    /// The scale used when regenerating the figures for the record.
+    Full,
+}
+
 impl ExperimentScale {
     /// The scale used when regenerating the figures for the record.
     pub fn full() -> Self {
@@ -29,12 +44,46 @@ impl ExperimentScale {
         }
     }
 
-    /// A fast scale for smoke tests and benches.
+    /// A fast scale for smoke tests and CI runs.
     pub fn quick() -> Self {
         ExperimentScale {
             ios_per_workload: 300,
             blocks_per_plane: 32,
         }
+    }
+
+    /// The scale used by bench targets and the baseline regenerator: small
+    /// enough that a timed run finishes in milliseconds, large enough that
+    /// every qualitative trend of the paper still shows.
+    pub fn bench() -> Self {
+        ExperimentScale {
+            ios_per_workload: 200,
+            blocks_per_plane: 32,
+        }
+    }
+
+    /// Resolves a named mode to its scale — the single source of truth.
+    pub fn resolve(mode: ScaleMode) -> Self {
+        match mode {
+            ScaleMode::Quick => Self::quick(),
+            ScaleMode::Bench => Self::bench(),
+            ScaleMode::Full => Self::full(),
+        }
+    }
+
+    /// Resolves CLI arguments (`--quick`, `--bench`, `--full`; last one wins,
+    /// default full) to a scale.  Shared by every experiment binary.
+    pub fn from_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut mode = ScaleMode::Full;
+        for arg in args {
+            match arg {
+                "--quick" => mode = ScaleMode::Quick,
+                "--bench" => mode = ScaleMode::Bench,
+                "--full" => mode = ScaleMode::Full,
+                _ => {}
+            }
+        }
+        Self::resolve(mode)
     }
 }
 
@@ -281,7 +330,40 @@ mod tests {
         assert!(
             ExperimentScale::full().ios_per_workload > ExperimentScale::quick().ios_per_workload
         );
+        assert!(
+            ExperimentScale::quick().ios_per_workload >= ExperimentScale::bench().ios_per_workload
+        );
         assert_eq!(ExperimentScale::default(), ExperimentScale::full());
+    }
+
+    #[test]
+    fn scale_resolution_is_shared_and_cli_flags_resolve() {
+        assert_eq!(
+            ExperimentScale::resolve(ScaleMode::Quick),
+            ExperimentScale::quick()
+        );
+        assert_eq!(
+            ExperimentScale::resolve(ScaleMode::Bench),
+            ExperimentScale::bench()
+        );
+        assert_eq!(
+            ExperimentScale::resolve(ScaleMode::Full),
+            ExperimentScale::full()
+        );
+        assert_eq!(ExperimentScale::from_args([]), ExperimentScale::full());
+        assert_eq!(
+            ExperimentScale::from_args(["--quick"]),
+            ExperimentScale::quick()
+        );
+        assert_eq!(
+            ExperimentScale::from_args(["ignored", "--bench"]),
+            ExperimentScale::bench()
+        );
+        // Last flag wins.
+        assert_eq!(
+            ExperimentScale::from_args(["--quick", "--full"]),
+            ExperimentScale::full()
+        );
     }
 
     /// Regression: `sweep_trace` panicked ("assertion failed: min <= max") for

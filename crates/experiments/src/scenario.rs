@@ -11,6 +11,8 @@
 //! | `gc-steady-state`   | a pre-conditioned, fragmented SSD under sustained overwrites with garbage collection on |
 //! | `queue-depth-sweep` | the same bursty workload across device queue depths 8→64 |
 //! | `mixed-burst`       | half-read/half-write bursts at high and low transactional locality |
+//! | `array-scaleout`    | the multi-SSD frontend: one trace striped over 1→16 devices at a fixed 64-chip budget and fixed footprint (the array analogue of the fig15 sweep) |
+//! | `array-skew`        | hot-shard imbalance: clustered offsets against coarse stripes vs a uniform workload on a 4-device array |
 //!
 //! Every scenario compares the conventional controller (VAS) against full
 //! Sprinkler (SPK3) and returns per-cell [`RunMetrics`], so regressions in any
@@ -19,21 +21,32 @@
 //! line (CI runs it at quick scale).
 
 use serde::{Deserialize, Serialize};
+use sprinkler_array::{run_array, ArrayConfig, ArrayMetrics};
 use sprinkler_core::SchedulerKind;
 use sprinkler_ssd::{GcConfig, RunMetrics, SsdConfig};
-use sprinkler_workloads::{parse, workload, SyntheticSpec};
+use sprinkler_workloads::{parse, workload, Locality, SweepSpec, SyntheticSpec};
 
 use crate::replay::{run_source, run_source_detailed, CapacityPolicy};
 use crate::report::{fmt_f64, Table};
 use crate::runner::{run_cells, ExperimentScale};
 
 /// The registered scenario names, in run order.
-pub const SCENARIO_NAMES: [&str; 4] = [
+pub const SCENARIO_NAMES: [&str; 6] = [
     "enterprise-replay",
     "gc-steady-state",
     "queue-depth-sweep",
     "mixed-burst",
+    "array-scaleout",
+    "array-skew",
 ];
+
+/// Array widths the scale-out scenario sweeps; the chip budget is fixed, so
+/// width `n` runs `n` devices of `ARRAY_CHIP_BUDGET / n` chips each.
+pub const ARRAY_SCALEOUT_DEVICES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Total flash chips across the array in the scale-out sweep (the paper
+/// platform's 64-chip budget, re-partitioned instead of grown).
+pub const ARRAY_CHIP_BUDGET: usize = 64;
 
 /// The schedulers every scenario compares.
 const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Vas, SchedulerKind::Spk3];
@@ -109,6 +122,8 @@ pub fn run(name: &str, scale: &ExperimentScale) -> Option<ScenarioOutcome> {
         "gc-steady-state" => gc_steady_state(scale),
         "queue-depth-sweep" => queue_depth_sweep(scale),
         "mixed-burst" => mixed_burst(scale),
+        "array-scaleout" => array_scaleout(scale),
+        "array-skew" => array_skew(scale),
         _ => return None,
     };
     Some(ScenarioOutcome {
@@ -270,6 +285,106 @@ fn mixed_burst(scale: &ExperimentScale) -> Vec<ScenarioCell> {
     })
 }
 
+/// The device configuration of one scale-out array cell: the fixed chip
+/// budget split evenly across `devices` devices.
+fn array_scaleout_config(scale: &ExperimentScale, devices: usize) -> ArrayConfig {
+    ArrayConfig::new(scenario_config(scale).with_chip_count(ARRAY_CHIP_BUDGET / devices))
+        .with_devices(devices)
+        .with_stripe_kb(32)
+}
+
+/// The fixed-footprint workload every scale-out cell stripes: 256 KB
+/// transfers (8 stripes each, so every request fans out across devices) in
+/// read-heavy bursts, saturating enough that the single-device point is
+/// completion-bound.  Public so the bench target and the baseline gate time
+/// and check exactly the cells the scenario runs.
+pub fn array_scaleout_metrics(
+    scale: &ExperimentScale,
+    devices: usize,
+    kind: SchedulerKind,
+) -> ArrayMetrics {
+    let spec = SweepSpec::new(256)
+        .with_read_fraction(0.8)
+        .with_footprint_mb(512)
+        .with_bursts(16, 50.0);
+    run_array(
+        &array_scaleout_config(scale, devices),
+        kind,
+        &mut spec.stream(scale.ios_per_workload, 0xA44A),
+    )
+    .expect("the scale-out workload fits the array")
+}
+
+/// array-scaleout: one trace, striped across 1→16 devices at a fixed total
+/// chip budget and fixed footprint — does the host-level frontend convert
+/// added devices into aggregate bandwidth, and how does scheduler choice
+/// compose with striping?
+fn array_scaleout(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let cells: Vec<(usize, SchedulerKind)> = ARRAY_SCALEOUT_DEVICES
+        .into_iter()
+        .flat_map(|devices| SCHEDULERS.iter().map(move |&kind| (devices, kind)))
+        .collect();
+    run_cells(&cells, |&(devices, kind)| ScenarioCell {
+        label: format!("n{devices}"),
+        scheduler: kind,
+        metrics: array_scaleout_metrics(scale, devices, kind).summary_run_metrics(),
+    })
+}
+
+/// The array-skew variants: a uniform random workload against a clustered
+/// one whose 2 MB offset clusters sit inside single 4 MB stripes, pinning
+/// bursts to one shard at a time.
+fn array_skew_spec(label: &str) -> SyntheticSpec {
+    let spec = SyntheticSpec::new(label)
+        .with_read_fraction(0.7)
+        .with_mean_sizes_kb(16.0, 16.0)
+        .with_bursts(16, 60.0);
+    match label {
+        "uniform" => spec
+            .with_locality(Locality::Low)
+            .with_randomness(1.0, 1.0)
+            .with_footprint_mb(256),
+        _ => spec
+            .with_locality(Locality::High)
+            .with_randomness(0.2, 0.2)
+            .with_footprint_mb(24),
+    }
+}
+
+/// One array-skew cell, exposed for tests that assert on the imbalance
+/// statistics the [`ScenarioCell`] summary flattens away.
+pub fn array_skew_metrics(
+    scale: &ExperimentScale,
+    label: &str,
+    kind: SchedulerKind,
+) -> ArrayMetrics {
+    let config = ArrayConfig::new(scenario_config(scale).with_chip_count(ARRAY_CHIP_BUDGET / 4))
+        .with_devices(4)
+        .with_stripe_kb(4096);
+    run_array(
+        &config,
+        kind,
+        &mut array_skew_spec(label).stream(scale.ios_per_workload, 0x5E),
+    )
+    .expect("the skew workload fits the array")
+}
+
+/// array-skew: hot-shard imbalance on a 4-device array — clustered offsets
+/// against coarse 4 MB stripes concentrate bursts on one shard at a time,
+/// vs. the same burst shape spread uniformly.
+fn array_skew(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let variants = ["uniform", "hot-shard"];
+    let cells: Vec<(&str, SchedulerKind)> = variants
+        .into_iter()
+        .flat_map(|label| SCHEDULERS.iter().map(move |&kind| (label, kind)))
+        .collect();
+    run_cells(&cells, |&(label, kind)| ScenarioCell {
+        label: label.to_string(),
+        scheduler: kind,
+        metrics: array_skew_metrics(scale, label, kind).summary_run_metrics(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +454,64 @@ mod tests {
                 cell.scheduler
             );
         }
+    }
+
+    #[test]
+    fn array_scaleout_converts_devices_into_aggregate_bandwidth() {
+        let scale = ExperimentScale::quick();
+        let outcome = run("array-scaleout", &scale).unwrap();
+        assert_eq!(
+            outcome.cells.len(),
+            ARRAY_SCALEOUT_DEVICES.len() * SCHEDULERS.len()
+        );
+        let bw = |label: &str| {
+            outcome
+                .cell(label, SchedulerKind::Spk3)
+                .unwrap()
+                .metrics
+                .bandwidth_kb_per_sec
+        };
+        // The frontend must convert added devices into aggregate bandwidth.
+        assert!(
+            bw("n16") > bw("n1") * 1.1,
+            "16 devices must beat 1 device: {} vs {}",
+            bw("n16"),
+            bw("n1")
+        );
+        // And the sweep must not collapse anywhere along the way.
+        for pair in ARRAY_SCALEOUT_DEVICES.windows(2) {
+            let (a, b) = (format!("n{}", pair[0]), format!("n{}", pair[1]));
+            assert!(
+                bw(&b) >= bw(&a) * 0.9,
+                "bandwidth regressed from {a} to {b}: {} vs {}",
+                bw(&a),
+                bw(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn array_skew_exposes_the_hot_shard() {
+        let scale = ExperimentScale::quick();
+        for kind in SCHEDULERS {
+            let uniform = array_skew_metrics(&scale, "uniform", kind);
+            let skewed = array_skew_metrics(&scale, "hot-shard", kind);
+            assert!(
+                skewed.skew.io_imbalance > uniform.skew.io_imbalance * 1.2,
+                "{kind}: clustered offsets must imbalance the shards \
+                 ({} vs {})",
+                skewed.skew.io_imbalance,
+                uniform.skew.io_imbalance
+            );
+            assert!(
+                skewed.bandwidth_kb_per_sec < uniform.bandwidth_kb_per_sec,
+                "{kind}: the hot shard must cost aggregate bandwidth"
+            );
+        }
+        // The registry serves both variants as cells.
+        let outcome = run("array-skew", &scale).unwrap();
+        assert_eq!(outcome.cells.len(), 4);
+        assert!(outcome.cell("hot-shard", SchedulerKind::Spk3).is_some());
     }
 
     #[test]

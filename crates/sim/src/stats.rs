@@ -432,23 +432,31 @@ impl Histogram {
     /// Approximate quantile (0.0–1.0) using the bucket upper bound of the bucket in
     /// which the quantile falls.  Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
+        Self::quantile_from_counts(&self.bounds, &self.counts, self.max, q)
+    }
+
+    /// The quantile convention of [`Histogram::quantile`], applied to raw
+    /// bucket counts (`counts` has one trailing overflow bucket beyond
+    /// `bounds`; `max` is the largest recorded sample, reported for the
+    /// overflow bucket).  This is the single home of the bucket-walk and
+    /// rounding rules, so consumers that merge bucket counts from several
+    /// histograms with shared bounds (e.g. per-device latency merges) stay
+    /// convention-identical with per-histogram quantiles.
+    pub fn quantile_from_counts(bounds: &[u64], counts: &[u64], max: u64, q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = (q * self.total as f64).ceil() as u64;
+        let target = (q * total as f64).ceil() as u64;
         let mut acc = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in counts.iter().enumerate() {
             acc += c;
             if acc >= target.max(1) {
-                return if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    self.max
-                };
+                return if i < bounds.len() { bounds[i] } else { max };
             }
         }
-        self.max
+        max
     }
 }
 

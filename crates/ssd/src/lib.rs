@@ -55,7 +55,10 @@ pub mod ssd;
 pub use config::{AllocationPolicy, GcConfig, SsdConfig};
 pub use error::SsdError;
 pub use ledger::{ChipOccupancy, CommitmentLedger};
-pub use metrics::{ExecutionBreakdown, FlpBreakdown, MetricsCollector, RunMetrics};
+pub use metrics::{
+    latency_bucket_bounds, merged_latency_quantile, weighted_mean_latency_ns, ExecutionBreakdown,
+    FlpBreakdown, MetricsCollector, RunMetrics,
+};
 pub use request::{Direction, HostRequest, MemReqId, MemoryRequest, Placement, TagId};
 pub use scheduler::{Commitment, IoScheduler, SchedulerContext};
 pub use ssd::Ssd;

@@ -10,6 +10,62 @@ use sprinkler_sim::{Duration, Histogram, MeanStat, SimTime};
 
 use crate::ftl::GcStats;
 
+/// First inclusive bucket bound of the latency histogram, in nanoseconds.
+const LATENCY_HIST_START_NS: u64 = 1_000;
+/// Number of exponential latency buckets (excluding the overflow bucket).
+const LATENCY_HIST_BUCKETS: usize = 27;
+
+/// The inclusive upper bounds of the latency histogram every run records:
+/// exponential buckets from 1 µs to ~67 s, shared by all [`RunMetrics`] so
+/// per-device bucket counts can be merged exactly (see
+/// [`merged_latency_quantile`]).
+pub fn latency_bucket_bounds() -> Vec<u64> {
+    Histogram::exponential(LATENCY_HIST_START_NS, LATENCY_HIST_BUCKETS)
+        .bounds()
+        .to_vec()
+}
+
+/// Exact quantile of the union of several runs' latency samples, computed from
+/// their shared-bound latency bucket counts ([`RunMetrics::latency_buckets`]).
+///
+/// All runs record latencies into histograms with identical bounds
+/// ([`latency_bucket_bounds`]), so summing bucket counts elementwise yields the
+/// histogram a single collector observing every I/O would have built; the
+/// quantile of that merged histogram is returned (bucket upper bound, or the
+/// overall maximum latency for the overflow bucket — the same convention as a
+/// single run's `p99_latency_ns`).  Runs with no recorded buckets (legacy or
+/// empty) contribute nothing.  Returns 0 when no samples exist.
+pub fn merged_latency_quantile<'a>(runs: impl IntoIterator<Item = &'a RunMetrics>, q: f64) -> u64 {
+    let mut counts = vec![0u64; LATENCY_HIST_BUCKETS + 1];
+    let mut max_latency = 0u64;
+    for run in runs {
+        max_latency = max_latency.max(run.max_latency_ns);
+        for (slot, &count) in counts.iter_mut().zip(&run.latency_buckets) {
+            *slot += count;
+        }
+    }
+    // One shared quantile convention: the walk and rounding live in
+    // `Histogram`, so merged and per-run quantiles can never diverge.
+    Histogram::quantile_from_counts(&latency_bucket_bounds(), &counts, max_latency, q)
+}
+
+/// I/O-count-weighted mean latency across several runs, in nanoseconds — the
+/// average a single collector observing every run's I/Os would report.
+/// Returns 0 when no I/Os were completed.
+pub fn weighted_mean_latency_ns<'a>(runs: impl IntoIterator<Item = &'a RunMetrics>) -> f64 {
+    let mut ios = 0u64;
+    let mut weighted = 0.0f64;
+    for run in runs {
+        ios += run.io_count;
+        weighted += run.avg_latency_ns * run.io_count as f64;
+    }
+    if ios == 0 {
+        0.0
+    } else {
+        weighted / ios as f64
+    }
+}
+
 /// Fractions of memory requests served at each flash-level parallelism class
 /// (Fig 14).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -68,6 +124,15 @@ pub struct RunMetrics {
     pub bytes_written: u64,
     /// Simulated time from the first arrival to the last completion, in ns.
     pub elapsed_ns: u64,
+    /// Simulated instant of the first host arrival, ns (0 when no I/Os
+    /// arrived).  Together with [`RunMetrics::run_end_ns`] this places the
+    /// run's activity window on the simulation clock, so independent runs
+    /// (e.g. the devices of a striped array) can merge their windows as a
+    /// *union* rather than assuming they coincide.
+    pub run_start_ns: u64,
+    /// Simulated instant the run's activity ended (last completion or final
+    /// event), ns; `run_end_ns - run_start_ns == elapsed_ns`.
+    pub run_end_ns: u64,
     /// I/O bandwidth in KB/s (the unit of Fig 10a).
     pub bandwidth_kb_per_sec: f64,
     /// I/O operations per second (Fig 10b).
@@ -108,6 +173,12 @@ pub struct RunMetrics {
     pub requests_per_transaction: f64,
     /// Garbage collection statistics (Fig 17).
     pub gc: GcStats,
+    /// Per-bucket latency sample counts over the shared exponential bounds of
+    /// [`latency_bucket_bounds`], with one trailing overflow bucket.  Because
+    /// every run uses the same bounds, bucket counts from independent runs
+    /// (e.g. the devices of a striped array) merge exactly — see
+    /// [`merged_latency_quantile`].
+    pub latency_buckets: Vec<u64>,
     /// Optional per-I/O latency time series `(host request id, latency ns)`
     /// (Fig 12); populated only when series recording is enabled.
     pub latency_series: Vec<(u64, u64)>,
@@ -163,8 +234,8 @@ impl MetricsCollector {
             bytes_read: 0,
             bytes_written: 0,
             latency: MeanStat::new(),
-            // Buckets from 1 µs to ~68 s.
-            latency_hist: Histogram::exponential(1_000, 27),
+            // Buckets from 1 µs to ~67 s; shared bounds, see latency_bucket_bounds.
+            latency_hist: Histogram::exponential(LATENCY_HIST_START_NS, LATENCY_HIST_BUCKETS),
             queue_stall: Duration::ZERO,
             first_arrival: None,
             last_completion: SimTime::ZERO,
@@ -330,6 +401,8 @@ impl MetricsCollector {
             bytes_read: self.bytes_read,
             bytes_written: self.bytes_written,
             elapsed_ns: elapsed.as_nanos(),
+            run_start_ns: start.as_nanos(),
+            run_end_ns: end.as_nanos(),
             bandwidth_kb_per_sec: total_bytes as f64 / 1024.0 / elapsed_secs,
             iops: self.io_count as f64 / elapsed_secs,
             avg_latency_ns: self.latency.mean(),
@@ -351,6 +424,7 @@ impl MetricsCollector {
                 self.memory_requests as f64 / self.transactions as f64
             },
             gc,
+            latency_buckets: self.latency_hist.bucket_counts().to_vec(),
             latency_series: self.latency_series,
         }
     }
@@ -385,6 +459,9 @@ mod tests {
         assert_eq!(r.bytes_read, 4096);
         assert_eq!(r.bytes_written, 2048);
         assert_eq!(r.elapsed_ns, 100_000);
+        assert_eq!(r.run_start_ns, 0);
+        assert_eq!(r.run_end_ns, 100_000);
+        assert_eq!(r.run_end_ns - r.run_start_ns, r.elapsed_ns);
         assert_eq!(r.queue_stall_ns, 2_000);
         assert!((r.avg_latency_ns - 75_000.0).abs() < 1.0);
         assert_eq!(r.scheduler, "test");
@@ -467,5 +544,75 @@ mod tests {
         assert_eq!(r.avg_latency_ns, 0.0);
         assert_eq!(r.requests_per_transaction, 0.0);
         assert_eq!(r.flp.as_array(), [0.0; 4]);
+        assert!(r.latency_buckets.iter().all(|&c| c == 0));
+    }
+
+    /// Builds a finalized run from raw latency samples (µs).
+    fn run_with_latencies(latencies_us: &[u64]) -> RunMetrics {
+        let mut m = MetricsCollector::new("m", false);
+        m.record_arrival(micros(0));
+        for (i, &l) in latencies_us.iter().enumerate() {
+            m.record_io(i as u64, true, 2048, micros(0), micros(l));
+        }
+        m.finalize(micros(10_000_000), &[], &[], 8, GcStats::default())
+    }
+
+    #[test]
+    fn bucket_counts_match_the_shared_bounds() {
+        let bounds = latency_bucket_bounds();
+        assert_eq!(bounds.len(), LATENCY_HIST_BUCKETS);
+        assert_eq!(bounds[0], LATENCY_HIST_START_NS);
+        let r = run_with_latencies(&[1, 10, 100]);
+        assert_eq!(r.latency_buckets.len(), LATENCY_HIST_BUCKETS + 1);
+        assert_eq!(r.latency_buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn merged_quantile_of_one_run_matches_its_own_p99() {
+        let latencies: Vec<u64> = (1..=200).collect();
+        let r = run_with_latencies(&latencies);
+        assert_eq!(merged_latency_quantile([&r], 0.99), r.p99_latency_ns);
+        // The bucket convention reports the containing bucket's upper bound,
+        // so any quantile is at least the true sample quantile's bucket floor.
+        assert!(merged_latency_quantile([&r], 1.0) >= r.max_latency_ns);
+    }
+
+    #[test]
+    fn merged_quantile_equals_a_single_collector_over_the_union() {
+        // Two disjoint sample sets merged must match one collector that saw all.
+        let a: Vec<u64> = (1..=150).collect();
+        let b: Vec<u64> = (500..=600).collect();
+        let union: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let ra = run_with_latencies(&a);
+        let rb = run_with_latencies(&b);
+        let whole = run_with_latencies(&union);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(
+                merged_latency_quantile([&ra, &rb], q),
+                merged_latency_quantile([&whole], q),
+                "quantile {q} diverged",
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_mean_latency_weights_by_io_count() {
+        let a = run_with_latencies(&[10, 10, 10, 10]); // mean 10 µs, 4 I/Os
+        let b = run_with_latencies(&[50]); // mean 50 µs, 1 I/O
+        let merged = weighted_mean_latency_ns([&a, &b]);
+        assert!((merged - 18_000.0).abs() < 1.0, "got {merged}");
+        assert_eq!(weighted_mean_latency_ns([]), 0.0);
+    }
+
+    #[test]
+    fn merged_quantile_of_empty_runs_is_zero() {
+        let empty = MetricsCollector::new("e", false).finalize(
+            SimTime::ZERO,
+            &[],
+            &[],
+            0,
+            GcStats::default(),
+        );
+        assert_eq!(merged_latency_quantile([&empty], 0.99), 0);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`workloads`] — synthetic Table 1 enterprise traces, microbenchmark sweeps,
 //!   the streaming `TraceSource` abstraction, and the MSR-CSV/blkparse text-trace
 //!   parser with its embedded sample corpus.
+//! * [`array`] — the multi-SSD array frontend: stripes one logical address
+//!   space across N independent Sprinkler devices and replays traces in
+//!   parallel with merged host-level metrics.
 //! * [`experiments`] — one module per table/figure of the paper's evaluation,
 //!   the streaming replay boundary (bounded admission + logical-capacity
 //!   validation), and the named-scenario registry.
@@ -42,16 +45,18 @@
 //! ```text
 //! cargo build --release   # every crate
 //! cargo test -q           # unit + integration + property + doc tests
-//! cargo bench --no-run    # compiles the 14 bench targets in crates/bench
+//! cargo bench --no-run    # compiles the 15 bench targets in crates/bench
 //! ```
 //!
 //! Crate dependency order (each depends on the ones before it):
 //! `sprinkler_sim` → `sprinkler_flash` → `sprinkler_ssd` → `sprinkler_core`,
-//! with `sprinkler_workloads` (only needing `sim`) feeding
-//! `sprinkler_experiments` and `sprinkler_bench` on top.
+//! with `sprinkler_workloads` (only needing `sim`) and `sprinkler_array` (the
+//! striped multi-device frontend) feeding `sprinkler_experiments` and
+//! `sprinkler_bench` on top.
 
 #![warn(missing_docs)]
 
+pub use sprinkler_array as array;
 pub use sprinkler_core as core;
 pub use sprinkler_experiments as experiments;
 pub use sprinkler_flash as flash;

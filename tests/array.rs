@@ -1,0 +1,98 @@
+//! Integration coverage for the multi-SSD array frontend through the facade.
+//!
+//! The load-bearing guarantee: a 1-device array is not "approximately" a bare
+//! SSD — it is *metric-for-metric identical* to `Ssd::run_stream` over the
+//! same trace, for every scheduler.  The striping map's single-device case is
+//! the identity, the splitter renumbers fragments to the original dense ids,
+//! and the metrics merge copies (not recomputes) the single device's derived
+//! figures, so the entire `RunMetrics` struct — counts, bytes, latencies,
+//! histogram buckets, FLP and execution breakdowns — must compare equal.
+
+use sprinkler::array::{run_array, ArrayConfig};
+use sprinkler::core::SchedulerKind;
+use sprinkler::experiments::{run_source, CapacityPolicy};
+use sprinkler::ssd::SsdConfig;
+use sprinkler::workloads::SyntheticSpec;
+
+fn device_config() -> SsdConfig {
+    SsdConfig::paper_default().with_blocks_per_plane(16)
+}
+
+/// A workload that exercises reads, writes, bursts, and multi-stripe
+/// transfers, small enough that all five schedulers replay in test time.
+fn workload() -> SyntheticSpec {
+    SyntheticSpec::new("identity")
+        .with_read_fraction(0.6)
+        .with_mean_sizes_kb(48.0, 48.0)
+        .with_footprint_mb(64)
+        .with_bursts(8, 100.0)
+}
+
+#[test]
+fn one_device_array_is_metric_for_metric_identical_for_all_schedulers() {
+    let config = ArrayConfig::new(device_config()).with_stripe_kb(64);
+    let trace = workload().generate(150, 0x1D);
+    assert!(
+        trace.footprint_bytes() <= config.logical_capacity_bytes(),
+        "the identity workload must fit the single-device array"
+    );
+    for kind in SchedulerKind::ALL {
+        let bare = run_source(
+            &config.device,
+            kind,
+            &mut trace.source(),
+            CapacityPolicy::Reject,
+        )
+        .expect("the workload fits the bare device");
+        let array = run_array(&config, kind, &mut trace.source())
+            .expect("the workload fits the 1-device array");
+
+        // The device-level metrics are the *same struct*, field for field —
+        // including latency histogram buckets and breakdowns.
+        assert_eq!(array.devices.len(), 1);
+        assert_eq!(
+            array.devices[0], bare,
+            "{kind}: 1-device array diverged from the bare run"
+        );
+
+        // And the merged aggregates are bit-identical copies, not recomputed
+        // approximations.
+        assert_eq!(array.io_count, bare.io_count, "{kind}");
+        assert_eq!(array.read_ios, bare.read_ios, "{kind}");
+        assert_eq!(array.write_ios, bare.write_ios, "{kind}");
+        assert_eq!(array.bytes_read, bare.bytes_read, "{kind}");
+        assert_eq!(array.bytes_written, bare.bytes_written, "{kind}");
+        assert_eq!(array.elapsed_ns, bare.elapsed_ns, "{kind}");
+        assert_eq!(
+            array.bandwidth_kb_per_sec, bare.bandwidth_kb_per_sec,
+            "{kind}"
+        );
+        assert_eq!(array.iops, bare.iops, "{kind}");
+        assert_eq!(array.avg_latency_ns, bare.avg_latency_ns, "{kind}");
+        assert_eq!(array.p99_latency_ns, bare.p99_latency_ns, "{kind}");
+        assert_eq!(array.max_latency_ns, bare.max_latency_ns, "{kind}");
+        assert_eq!(array.queue_stall_ns, bare.queue_stall_ns, "{kind}");
+    }
+}
+
+/// Widening the array changes the partitioning, not the work: page-rounded
+/// byte totals and read/write splits are preserved for every scheduler at
+/// width 4.
+#[test]
+fn striped_replay_preserves_work_for_all_schedulers() {
+    let trace = workload().generate(120, 0x77);
+    let one = ArrayConfig::new(device_config()).with_stripe_kb(64);
+    let four = one.clone().with_devices(4);
+    for kind in SchedulerKind::ALL {
+        let narrow = run_array(&one, kind, &mut trace.source()).unwrap();
+        let wide = run_array(&four, kind, &mut trace.source()).unwrap();
+        assert_eq!(
+            narrow.bytes_read + narrow.bytes_written,
+            wide.bytes_read + wide.bytes_written,
+            "{kind}: page-rounded byte totals must survive striping"
+        );
+        assert_eq!(narrow.read_ios > 0, wide.read_ios > 0, "{kind}");
+        assert!(wide.io_count >= narrow.io_count, "{kind}: splits only add");
+        assert!(wide.bandwidth_kb_per_sec > 0.0, "{kind}");
+    }
+}

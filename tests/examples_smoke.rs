@@ -13,13 +13,14 @@ use sprinkler::experiments::fig15_scaling;
 use sprinkler::experiments::runner::ExperimentScale;
 
 /// Every file in `examples/`, kept in sync by `covers_every_example_file`.
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "scheduler_shootout",
     "enterprise_traces",
     "gc_pressure",
     "scaling_study",
     "trace_replay",
+    "array_frontend",
 ];
 
 /// Runs the examples sequentially through `cargo run` (sequential so the

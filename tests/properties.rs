@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
+use sprinkler::array::{StripeMap, StripedFanout};
 use sprinkler::core::reference::ReferenceScheduler;
 use sprinkler::core::SchedulerKind;
 use sprinkler::experiments::to_host_requests;
@@ -394,5 +395,107 @@ proptest! {
         }
         prop_assert!(source.error().is_none(), "round trip must parse cleanly");
         prop_assert_eq!(index, original.len());
+    }
+
+    /// The striping map's LPN mapping is a bijection within the array
+    /// footprint: `locate_lpn` round-trips through `lpn_to_global` for every
+    /// page, distinct global LPNs never collide on the same (device, local)
+    /// pair, and each local LPN stays inside the device's local footprint
+    /// image.
+    #[test]
+    fn stripe_lpn_map_is_a_bijection_within_the_footprint(
+        devices in 1usize..8,
+        stripe_pages in 1u64..32,
+        footprint_pages in 1u64..512,
+    ) {
+        let page = 2048u64;
+        let map = StripeMap::new(devices, stripe_pages * page);
+        let mut seen = std::collections::HashSet::new();
+        for lpn in 0..footprint_pages {
+            let (device, local) = map.locate_lpn(lpn, page);
+            prop_assert!(device < devices);
+            prop_assert_eq!(
+                map.lpn_to_global(device, local, page),
+                lpn,
+                "LPN map must round-trip"
+            );
+            prop_assert!(
+                seen.insert((device, local)),
+                "distinct LPNs must map to distinct (device, local) pairs"
+            );
+            // The local page sits inside the device's local footprint image.
+            let local_bound = map.local_footprint(footprint_pages * page, device);
+            prop_assert!((local + 1) * page <= local_bound);
+        }
+    }
+
+    /// Splitting a straddling record is loss-free: fragment bytes sum to the
+    /// record's bytes, every fragment maps back inside the record's global
+    /// range, and no two fragments land on the same device (coalescing merges
+    /// a device's locally contiguous pieces).
+    #[test]
+    fn stripe_splits_are_loss_free(
+        devices in 1usize..8,
+        stripe_pages in 1u64..16,
+        offset in 0u64..(1 << 22),
+        bytes in 1u64..(1 << 20),
+    ) {
+        let map = StripeMap::new(devices, stripe_pages * 2048);
+        let record = sprinkler::workloads::TraceRecord {
+            id: 0,
+            arrival: SimTime::ZERO,
+            op: sprinkler::workloads::TraceOp::Write,
+            offset,
+            bytes,
+        };
+        let fragments = map.split(&record);
+        let total: u64 = fragments.iter().map(|f| f.bytes).sum();
+        prop_assert_eq!(total, bytes, "split must preserve byte totals");
+        let mut devices_seen = std::collections::HashSet::new();
+        for fragment in &fragments {
+            prop_assert!(fragment.bytes >= 1);
+            prop_assert!(
+                devices_seen.insert(fragment.device),
+                "coalescing must leave one fragment per device"
+            );
+            // The fragment's first byte maps back into the record's range.
+            let global = map.to_global(fragment.device, fragment.offset);
+            prop_assert!(global >= offset && global < offset + bytes);
+        }
+    }
+
+    /// Every per-device sub-stream of a striped fanout is a valid trace
+    /// source: arrivals nondecreasing, ids dense, fragments within the
+    /// declared local footprint — and the union of the sub-streams preserves
+    /// the source's byte totals.
+    #[test]
+    fn striped_substreams_are_valid_trace_sources(
+        devices in 1usize..6,
+        stripe_kb in 1u64..256,
+        seed in 0u64..500,
+    ) {
+        let spec = SyntheticSpec::new("fanout").with_footprint_mb(16);
+        let expected: u64 = spec.generate(120, seed).iter().map(|r| r.bytes).sum();
+        let mut source = spec.stream(120, seed);
+        let fanout = StripedFanout::new(&mut source, StripeMap::new(devices, stripe_kb * 1024));
+        let mut total = 0u64;
+        for device in 0..devices {
+            let mut sub = fanout.device_source(device);
+            let bound = sub.footprint_bytes();
+            let mut last_arrival = SimTime::ZERO;
+            let mut next_id = 0u64;
+            while let Some(record) = sub.next_record() {
+                prop_assert!(record.arrival >= last_arrival, "arrivals must be nondecreasing");
+                prop_assert_eq!(record.id, next_id, "fragment ids must be dense");
+                prop_assert!(
+                    record.offset + record.bytes <= bound,
+                    "fragments must respect the local footprint bound"
+                );
+                last_arrival = record.arrival;
+                next_id += 1;
+                total += record.bytes;
+            }
+        }
+        prop_assert_eq!(total, expected, "fanout must preserve byte totals");
     }
 }
