@@ -1,6 +1,7 @@
 //! Merged array metrics: the host's view of a striped replay.
 
 use serde::{Deserialize, Serialize};
+use sprinkler_sim::TelemetrySnapshot;
 use sprinkler_ssd::{merged_latency_quantile, weighted_mean_latency_ns, RunMetrics};
 
 /// Per-device imbalance statistics: how evenly the striping map spread the
@@ -179,6 +180,24 @@ impl ArrayMetrics {
             .map(|m| m.run_start_ns)
             .min()
             .unwrap_or(0);
+        // Elementwise sum of the shared-bound per-device histograms: the exact
+        // bucket counts a single collector observing every device's I/Os would
+        // have recorded, so the summary round-trips through
+        // `merged_latency_quantile` to the same p99 the array reported.
+        // (Dropping these silently — the old `..default()` behaviour — made
+        // every downstream latency merge treat the array as sample-free.)
+        let bucket_len = self
+            .devices
+            .iter()
+            .map(|m| m.latency_buckets.len())
+            .max()
+            .unwrap_or(0);
+        let mut latency_buckets = vec![0u64; bucket_len];
+        for device in &self.devices {
+            for (slot, &count) in latency_buckets.iter_mut().zip(&device.latency_buckets) {
+                *slot += count;
+            }
+        }
         RunMetrics {
             scheduler: self.scheduler.clone(),
             io_count: self.io_count,
@@ -210,6 +229,13 @@ impl ArrayMetrics {
             chip_utilization: self.devices.iter().map(|m| m.chip_utilization).sum::<f64>() / n,
             transactions: self.devices.iter().map(|m| m.transactions).sum(),
             memory_requests: self.devices.iter().map(|m| m.memory_requests).sum(),
+            latency_buckets,
+            telemetry: self
+                .devices
+                .iter()
+                .fold(TelemetrySnapshot::default(), |acc, m| {
+                    acc.merged(&m.telemetry)
+                }),
             ..RunMetrics::default()
         }
     }
@@ -308,5 +334,74 @@ mod tests {
         assert_eq!(summary.bandwidth_kb_per_sec, merged.bandwidth_kb_per_sec);
         assert_eq!(summary.avg_latency_ns, merged.avg_latency_ns);
         assert_eq!(summary.scheduler, "SPK3");
+    }
+
+    /// Builds a device run whose latency histogram has `count` samples in the
+    /// shared bucket whose upper bound is closest above `latency_ns`.
+    fn device_with_latencies(io: u64, samples: &[(u64, u64)]) -> RunMetrics {
+        let bounds = sprinkler_ssd::latency_bucket_bounds();
+        let mut latency_buckets = vec![0u64; bounds.len() + 1];
+        let mut max_latency_ns = 0;
+        for &(latency_ns, count) in samples {
+            let idx = bounds
+                .iter()
+                .position(|&b| latency_ns <= b)
+                .unwrap_or(bounds.len());
+            latency_buckets[idx] += count;
+            max_latency_ns = max_latency_ns.max(latency_ns);
+        }
+        RunMetrics {
+            max_latency_ns,
+            latency_buckets,
+            ..device(io, io * 4096, 1_000_000, 10_000.0)
+        }
+    }
+
+    /// Regression (the silently-dropped histogram): the summary must carry the
+    /// elementwise-summed per-device bucket counts, so feeding the summary back
+    /// through `merged_latency_quantile` reproduces the p99 the array itself
+    /// reported.  Before the fix `..RunMetrics::default()` zeroed the buckets
+    /// and the round-tripped quantile collapsed to 0.
+    #[test]
+    fn summary_round_trips_the_merged_latency_histogram() {
+        let a = device_with_latencies(40, &[(5_000, 30), (40_000, 10)]);
+        let b = device_with_latencies(60, &[(40_000, 50), (900_000, 10)]);
+        let merged = ArrayMetrics::merge(1 << 20, vec![a, b], 0);
+        assert!(merged.p99_latency_ns > 0);
+        let summary = merged.summary_run_metrics();
+        assert_eq!(summary.latency_buckets.iter().sum::<u64>(), 100);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                merged_latency_quantile([&summary], q),
+                merged_latency_quantile(merged.devices.iter(), q),
+                "quantile {q} diverged after the summary round-trip",
+            );
+        }
+        assert_eq!(
+            merged_latency_quantile([&summary], 0.99),
+            merged.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn summary_sums_device_telemetry() {
+        let mut a = device(10, 1 << 20, 1_000_000, 5_000.0);
+        a.telemetry = TelemetrySnapshot {
+            sched_rounds: 7,
+            stream_admissions: 10,
+            ..TelemetrySnapshot::default()
+        };
+        let mut b = device(30, 3 << 20, 2_000_000, 15_000.0);
+        b.telemetry = TelemetrySnapshot {
+            sched_rounds: 5,
+            hazard_war_deferrals: 2,
+            ..TelemetrySnapshot::default()
+        };
+        let merged = ArrayMetrics::merge(1 << 20, vec![a, b], 0);
+        let summary = merged.summary_run_metrics();
+        assert_eq!(summary.telemetry.sched_rounds, 12);
+        assert_eq!(summary.telemetry.stream_admissions, 10);
+        assert_eq!(summary.telemetry.hazard_war_deferrals, 2);
+        assert_eq!(summary.telemetry.stream_stalls, 0);
     }
 }

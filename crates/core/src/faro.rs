@@ -48,6 +48,19 @@ pub struct FaroCandidate {
     pub arrival_rank: usize,
 }
 
+/// Reusable working buffers for [`FaroSelector::select_into`].
+///
+/// The selector itself is `Copy` serializable configuration, so the ranking
+/// loop's working storage lives with the caller and is threaded through each
+/// selection; after warm-up no selection allocates.
+#[derive(Debug, Clone, Default)]
+pub struct FaroScratch {
+    remaining: Vec<FaroCandidate>,
+    occupied: Vec<(u32, u32)>,
+    tags: Vec<TagId>,
+    members: Vec<FaroCandidate>,
+}
+
 /// The FARO candidate selector.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaroSelector {
@@ -85,48 +98,76 @@ impl FaroSelector {
     /// depth (ties broken by connectivity, then arrival order) and over-commit its
     /// requests for this chip.
     pub fn select(&self, candidates: &[FaroCandidate], capacity: usize) -> Vec<(TagId, u32)> {
+        let mut selected = Vec::new();
+        let mut scratch = FaroScratch::default();
+        self.select_into(candidates, capacity, &mut selected, &mut scratch);
+        selected
+    }
+
+    /// [`FaroSelector::select`] with caller-provided output and working buffers
+    /// (allocation-free once warmed up).  Selections are *appended* to `out`.
+    /// Returns `true` when the single-tag fast path resolved the selection.
+    pub fn select_into(
+        &self,
+        candidates: &[FaroCandidate],
+        capacity: usize,
+        out: &mut Vec<(TagId, u32)>,
+        scratch: &mut FaroScratch,
+    ) -> bool {
         let capacity = capacity.min(self.config.overcommit_depth);
         if capacity == 0 || candidates.is_empty() {
-            return Vec::new();
+            return false;
         }
+        let start = out.len();
         // Fast path for the dominant many-chip shape: every candidate belongs to
         // one tag, so Algorithm 1 degenerates to "over-commit that tag's pages
         // in page order" — no ranking rounds, no working buffers.
         if candidates.windows(2).all(|pair| pair[0].tag == pair[1].tag) {
-            let mut selected: Vec<(TagId, u32)> =
-                candidates.iter().map(|c| (c.tag, c.page)).collect();
-            selected.sort_unstable_by_key(|&(_, page)| page);
-            selected.truncate(capacity);
-            return selected;
+            out.extend(candidates.iter().map(|c| (c.tag, c.page)));
+            out[start..].sort_unstable_by_key(|&(_, page)| page);
+            out.truncate(start + capacity);
+            return true;
         }
-        let mut remaining: Vec<FaroCandidate> = candidates.to_vec();
-        let mut selected: Vec<(TagId, u32)> = Vec::new();
-        let mut occupied: Vec<(u32, u32)> = Vec::new();
+        let FaroScratch {
+            remaining,
+            occupied,
+            tags,
+            members,
+        } = scratch;
+        remaining.clear();
+        remaining.extend_from_slice(candidates);
+        occupied.clear();
 
-        while selected.len() < capacity && !remaining.is_empty() {
+        while out.len() - start < capacity && !remaining.is_empty() {
             // Rank tags by the overlap depth their candidates would add on top of
             // what has already been selected.
-            let mut tags: Vec<TagId> = remaining.iter().map(|c| c.tag).collect();
+            tags.clear();
+            tags.extend(remaining.iter().map(|c| c.tag));
             tags.sort_unstable();
             tags.dedup();
             let mut best: Option<(usize, usize, usize, TagId)> = None;
-            for tag in tags {
-                let members: Vec<FaroCandidate> =
-                    remaining.iter().copied().filter(|c| c.tag == tag).collect();
-                let mut added_pairs: Vec<(u32, u32)> = members
-                    .iter()
-                    .map(|c| (c.die, c.plane))
-                    .filter(|p| !occupied.contains(p))
-                    .collect();
-                added_pairs.sort_unstable();
-                added_pairs.dedup();
-                let overlap = added_pairs.len();
-                let connectivity = members.len();
-                let rank = members
-                    .iter()
-                    .map(|c| c.arrival_rank)
-                    .min()
-                    .unwrap_or(usize::MAX);
+            for &tag in tags.iter() {
+                // Overlap: distinct not-yet-occupied (die, plane) pairs among
+                // the tag's members, counted at each pair's first occurrence —
+                // no scratch pair list needed.
+                let mut overlap = 0;
+                let mut connectivity = 0;
+                let mut rank = usize::MAX;
+                for (i, c) in remaining.iter().enumerate() {
+                    if c.tag != tag {
+                        continue;
+                    }
+                    connectivity += 1;
+                    rank = rank.min(c.arrival_rank);
+                    let pair = (c.die, c.plane);
+                    if !occupied.contains(&pair)
+                        && !remaining[..i]
+                            .iter()
+                            .any(|p| p.tag == tag && (p.die, p.plane) == pair)
+                    {
+                        overlap += 1;
+                    }
+                }
                 let better = match &best {
                     None => true,
                     Some((o, c, r, _)) => {
@@ -142,24 +183,21 @@ impl FaroSelector {
             };
             // Over-commit the chosen tag's candidates, preferring ones that open
             // new (die, plane) pairs, oldest pages first.
-            let mut members: Vec<FaroCandidate> = remaining
-                .iter()
-                .copied()
-                .filter(|c| c.tag == chosen_tag)
-                .collect();
+            members.clear();
+            members.extend(remaining.iter().copied().filter(|c| c.tag == chosen_tag));
             members.sort_by_key(|c| (occupied.contains(&(c.die, c.plane)), c.page));
-            for member in members {
-                if selected.len() >= capacity {
+            for member in members.iter() {
+                if out.len() - start >= capacity {
                     break;
                 }
-                selected.push((member.tag, member.page));
+                out.push((member.tag, member.page));
                 if !occupied.contains(&(member.die, member.plane)) {
                     occupied.push((member.die, member.plane));
                 }
             }
             remaining.retain(|c| c.tag != chosen_tag);
         }
-        selected
+        false
     }
 }
 
@@ -285,6 +323,32 @@ mod tests {
         let picked = selector.select(&with_rival, 6);
         assert_eq!(picked.len(), 6);
         assert!(picked.contains(&(TagId(6), 0)));
+    }
+
+    #[test]
+    fn select_into_appends_and_reports_the_fast_path() {
+        let selector = FaroSelector::new(FaroConfig::default());
+        let mut scratch = FaroScratch::default();
+        let mut out = vec![(TagId(99), 0)];
+
+        // Single tag: fast path fires, prior contents are preserved.
+        let single = vec![cand(1, 1, 0, 1, 0), cand(1, 0, 0, 0, 0)];
+        assert!(selector.select_into(&single, 8, &mut out, &mut scratch));
+        assert_eq!(out, vec![(TagId(99), 0), (TagId(1), 0), (TagId(1), 1)]);
+
+        // Two tags: ranking loop, fast path not taken, same picks as select().
+        let mixed = vec![
+            cand(1, 0, 0, 0, 0),
+            cand(1, 1, 0, 0, 0),
+            cand(2, 0, 0, 1, 1),
+            cand(2, 1, 1, 0, 1),
+        ];
+        out.clear();
+        assert!(!selector.select_into(&mixed, 3, &mut out, &mut scratch));
+        assert_eq!(out, selector.select(&mixed, 3));
+
+        // Empty input never reports the fast path.
+        assert!(!selector.select_into(&[], 8, &mut out, &mut scratch));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! over-commits, so it cannot exploit flash-level transactional locality: each chip
 //! gets at most one outstanding memory request at a time.
 
+use std::sync::Arc;
+
+use sprinkler_sim::TelemetryCounters;
 use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
 
 use crate::hazard::HazardFilter;
@@ -22,6 +25,8 @@ pub struct PhysicalAddressScheduler {
     /// `newly_dirty` are non-zero between rounds.
     newly: Vec<usize>,
     newly_dirty: Vec<usize>,
+    /// Hot-path counters shared with the SSD substrate, when attached.
+    telemetry: Option<Arc<TelemetryCounters>>,
 }
 
 impl PhysicalAddressScheduler {
@@ -36,7 +41,11 @@ impl IoScheduler for PhysicalAddressScheduler {
         "PAS"
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn attach_telemetry(&mut self, telemetry: &Arc<TelemetryCounters>) {
+        self.telemetry = Some(Arc::clone(telemetry));
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         if self.newly.len() < ctx.chip_count() {
             self.newly.resize(ctx.chip_count(), 0);
         }
@@ -44,12 +53,14 @@ impl IoScheduler for PhysicalAddressScheduler {
             self.newly[chip] = 0;
         }
         self.newly_dirty.clear();
-        let mut out = Vec::new();
         // A FUA request is a reordering barrier: the horizon bound stops the walk
         // right after the first not-fully-committed FUA request.
         let bound = self.hazards.horizon_seq(ctx);
         for tag in ctx.tags() {
             if tag.seq > bound {
+                if let Some(telemetry) = &self.telemetry {
+                    TelemetryCounters::incr(&telemetry.hazard_horizon_clips);
+                }
                 break;
             }
             let is_write = tag.host.direction.is_write();
@@ -66,6 +77,9 @@ impl IoScheduler for PhysicalAddressScheduler {
                         tag.host.lpn_at(page).value(),
                     )
                 {
+                    if let Some(telemetry) = &self.telemetry {
+                        TelemetryCounters::incr(&telemetry.hazard_war_deferrals);
+                    }
                     continue;
                 }
                 if self.newly[chip] == 0 {
@@ -75,7 +89,6 @@ impl IoScheduler for PhysicalAddressScheduler {
                 out.push(Commitment { tag: tag.id, page });
             }
         }
-        out
     }
 }
 

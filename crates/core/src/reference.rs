@@ -213,12 +213,15 @@ impl IoScheduler for ReferenceScheduler {
         }
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
-        if self.uses_rios() {
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
+        // The reference twin deliberately stays naive (and allocating): its
+        // value is obvious correctness, not speed.
+        let commitments = if self.uses_rios() {
             self.schedule_resource_driven(ctx)
         } else {
             self.schedule_in_order(ctx, matches!(self.kind, SchedulerKind::Pas))
-        }
+        };
+        out.extend(commitments);
     }
 
     fn supports_readdressing(&self) -> bool {

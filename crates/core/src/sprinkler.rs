@@ -16,11 +16,15 @@
 //! collection migrates live data across planes the substrate notifies the
 //! scheduler, which keeps its resource-driven decisions accurate.
 
+use std::sync::Arc;
+
 use sprinkler_flash::FlashGeometry;
+use sprinkler_sim::TelemetryCounters;
 use sprinkler_ssd::ftl::PageMigration;
+use sprinkler_ssd::request::TagId;
 use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
 
-use crate::faro::{FaroCandidate, FaroConfig, FaroSelector};
+use crate::faro::{FaroCandidate, FaroConfig, FaroScratch, FaroSelector};
 use crate::hazard::HazardFilter;
 use crate::rios::RiosTraversal;
 
@@ -51,6 +55,12 @@ pub struct SprinklerScheduler {
     /// chips listed in `newly_dirty` are non-zero between rounds.
     newly: Vec<usize>,
     newly_dirty: Vec<usize>,
+    /// Scratch: FARO's per-selection working buffers.
+    faro_scratch: FaroScratch,
+    /// Scratch: FARO's per-chip picks before they become commitments.
+    faro_picks: Vec<(TagId, u32)>,
+    /// Hot-path counters shared with the SSD substrate, when attached.
+    telemetry: Option<Arc<TelemetryCounters>>,
 }
 
 impl SprinklerScheduler {
@@ -85,6 +95,16 @@ impl SprinklerScheduler {
             cand_scratch: Vec::new(),
             newly: Vec::new(),
             newly_dirty: Vec::new(),
+            faro_scratch: FaroScratch::default(),
+            faro_picks: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    #[inline]
+    fn count(&self, pick: impl Fn(&TelemetryCounters) -> &std::sync::atomic::AtomicU64) {
+        if let Some(telemetry) = &self.telemetry {
+            TelemetryCounters::incr(pick(telemetry));
         }
     }
 
@@ -113,7 +133,7 @@ impl SprinklerScheduler {
 
     /// SPK1 path: in-order composition (the parallelism dependency remains) but
     /// with over-commitment so controllers can still build high-FLP transactions.
-    fn schedule_in_order(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn schedule_in_order(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip());
         if self.newly.len() < ctx.chip_count() {
             self.newly.resize(ctx.chip_count(), 0);
@@ -122,10 +142,10 @@ impl SprinklerScheduler {
             self.newly[chip] = 0;
         }
         self.newly_dirty.clear();
-        let mut out = Vec::new();
         let bound = self.hazards.horizon_seq(ctx);
         for tag in ctx.tags() {
             if tag.seq > bound {
+                self.count(|t| &t.hazard_horizon_clips);
                 break;
             }
             let is_write = tag.host.direction.is_write();
@@ -134,7 +154,7 @@ impl SprinklerScheduler {
                 if ctx.outstanding(chip) + self.newly[chip] >= capacity {
                     // Like VAS, composition is in-order: the first request that
                     // cannot be committed stalls everything behind it.
-                    return out;
+                    return;
                 }
                 if is_write
                     && self.hazards.write_after_read_blocked_seq(
@@ -146,6 +166,7 @@ impl SprinklerScheduler {
                     // §4.4 hazard policy: a write-after-read conflict is a data
                     // dependency on one logical page, not a resource collision —
                     // defer only the blocked page and keep composing.
+                    self.count(|t| &t.hazard_war_deferrals);
                     continue;
                 }
                 if self.newly[chip] == 0 {
@@ -155,14 +176,13 @@ impl SprinklerScheduler {
                 out.push(Commitment { tag: tag.id, page });
             }
         }
-        out
     }
 
     /// RIOS path (SPK2/SPK3): visit the chips that have uncommitted candidate
     /// pages — straight from the device queue's per-chip index — in traversal
     /// order, committing up to the per-chip capacity; FARO decides which
     /// candidates win when there are more than fit.
-    fn schedule_resource_driven(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn schedule_resource_driven(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip());
         let bound = self.hazards.horizon_seq(ctx);
         let chip_count = ctx.chip_count();
@@ -187,10 +207,12 @@ impl SprinklerScheduler {
                 continue;
             }
             let start = self.cand_scratch.len();
+            let mut clipped = false;
             for &(seq, page, tag_raw, slot) in entries {
                 if seq > bound {
                     // Candidates are ordered by admission seq: everything past
                     // the FUA horizon is off limits.
+                    clipped = true;
                     break;
                 }
                 let Some(tag) = ctx.queue.state_at(slot) else {
@@ -205,6 +227,9 @@ impl SprinklerScheduler {
                     )
                 {
                     // §4.4: defer only the hazard-blocked page.
+                    if let Some(telemetry) = &self.telemetry {
+                        TelemetryCounters::incr(&telemetry.hazard_war_deferrals);
+                    }
                     continue;
                 }
                 let placement = tag.placements[page as usize];
@@ -223,6 +248,11 @@ impl SprinklerScheduler {
                 }
             }
             let end = self.cand_scratch.len();
+            if clipped {
+                if let Some(telemetry) = &self.telemetry {
+                    TelemetryCounters::incr(&telemetry.hazard_horizon_clips);
+                }
+            }
             if end > start {
                 self.chip_scratch.push((rank, chip, start, end));
             }
@@ -230,14 +260,27 @@ impl SprinklerScheduler {
 
         // Pass 2 — visit the chips in traversal order and commit.
         self.chip_scratch.sort_unstable();
-        let mut out = Vec::new();
         for &(_, chip, start, end) in &self.chip_scratch {
             let candidates = &self.cand_scratch[start..end];
             if self.use_faro {
                 let room = capacity.saturating_sub(ctx.outstanding(chip));
-                for (tag, page) in self.faro.select(candidates, room) {
-                    out.push(Commitment { tag, page });
+                self.faro_picks.clear();
+                let fast = self.faro.select_into(
+                    candidates,
+                    room,
+                    &mut self.faro_picks,
+                    &mut self.faro_scratch,
+                );
+                if fast {
+                    if let Some(telemetry) = &self.telemetry {
+                        TelemetryCounters::incr(&telemetry.faro_fast_path_rounds);
+                    }
                 }
+                out.extend(
+                    self.faro_picks
+                        .iter()
+                        .map(|&(tag, page)| Commitment { tag, page }),
+                );
             } else {
                 out.push(Commitment {
                     tag: candidates[0].tag,
@@ -245,7 +288,6 @@ impl SprinklerScheduler {
                 });
             }
         }
-        out
     }
 }
 
@@ -263,11 +305,15 @@ impl IoScheduler for SprinklerScheduler {
         self.traversal = Some(RiosTraversal::new(geometry));
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn attach_telemetry(&mut self, telemetry: &Arc<TelemetryCounters>) {
+        self.telemetry = Some(Arc::clone(telemetry));
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         if self.use_rios {
-            self.schedule_resource_driven(ctx)
+            self.schedule_resource_driven(ctx, out);
         } else {
-            self.schedule_in_order(ctx)
+            self.schedule_in_order(ctx, out);
         }
     }
 

@@ -11,6 +11,9 @@
 //! the per-chip occupancy view to model the *physical backpressure* the in-order
 //! pipeline experiences, not to give VAS placement intelligence.
 
+use std::sync::Arc;
+
+use sprinkler_sim::TelemetryCounters;
 use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
 
 use crate::hazard::HazardFilter;
@@ -23,6 +26,8 @@ pub struct VirtualAddressScheduler {
     /// `newly_dirty` are non-zero between rounds.
     newly: Vec<usize>,
     newly_dirty: Vec<usize>,
+    /// Hot-path counters shared with the SSD substrate, when attached.
+    telemetry: Option<Arc<TelemetryCounters>>,
 }
 
 impl VirtualAddressScheduler {
@@ -37,7 +42,11 @@ impl IoScheduler for VirtualAddressScheduler {
         "VAS"
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn attach_telemetry(&mut self, telemetry: &Arc<TelemetryCounters>) {
+        self.telemetry = Some(Arc::clone(telemetry));
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         if self.newly.len() < ctx.chip_count() {
             self.newly.resize(ctx.chip_count(), 0);
         }
@@ -45,17 +54,19 @@ impl IoScheduler for VirtualAddressScheduler {
             self.newly[chip] = 0;
         }
         self.newly_dirty.clear();
-        let mut out = Vec::new();
         let bound = self.hazards.horizon_seq(ctx);
         for tag in ctx.tags() {
             if tag.seq > bound {
+                if let Some(telemetry) = &self.telemetry {
+                    TelemetryCounters::incr(&telemetry.hazard_horizon_clips);
+                }
                 break;
             }
             for page in tag.uncommitted_pages() {
                 let chip = tag.placements[page as usize].chip;
                 // In-order pipeline: a busy target chip blocks everything behind it.
                 if ctx.outstanding(chip) + self.newly[chip] >= 1 {
-                    return out;
+                    return;
                 }
                 if self.newly[chip] == 0 {
                     self.newly_dirty.push(chip);
@@ -64,7 +75,6 @@ impl IoScheduler for VirtualAddressScheduler {
                 out.push(Commitment { tag: tag.id, page });
             }
         }
-        out
     }
 }
 

@@ -25,6 +25,8 @@
 //! scheduler or replay change that silently shifts any headline result fails
 //! CI until the baselines are regenerated deliberately.
 
+use std::cell::Cell;
+use std::rc::Rc;
 use std::time::Instant;
 
 use sprinkler_core::reference::ReferenceScheduler;
@@ -32,8 +34,17 @@ use sprinkler_core::SchedulerKind;
 use sprinkler_experiments::micro::{representative_run, standing_scene};
 use sprinkler_experiments::runner::ExperimentScale;
 use sprinkler_experiments::{fig10, fig15_scaling, scenario};
-use sprinkler_sim::SimTime;
+use sprinkler_flash::Lpn;
+use sprinkler_sim::{AllocScope, CountingAllocator, SimTime};
+use sprinkler_ssd::request::{Direction, HostRequest};
 use sprinkler_ssd::scheduler::{IoScheduler, SchedulerContext};
+use sprinkler_ssd::{RunMetrics, Ssd, SsdConfig};
+
+/// Every baseline figure is measured under the counting allocator, so the
+/// steady-state allocs-per-I/O figures below are real measurements, not
+/// assertions carried over from the test suite.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Matches the vendored criterion shim: one untimed warmup, then `samples`
 /// timed iterations.
@@ -124,14 +135,85 @@ fn today() -> String {
 // regeneration path and the `--check` gate.
 // ---------------------------------------------------------------------------
 
-/// `BENCH_seed.json`: the fig10 headline comparison at bench scale.
+/// Replays the steady-state workload of tests/zero_alloc.rs (fixed 8-page
+/// requests, a warm-up-mapped 512-LPN write footprint, roaming reads) through
+/// `Ssd::run_stream` under SPK3, measuring allocation events after the
+/// warm-up boundary.  Returns the run metrics and allocations per measured
+/// I/O — 0.0 by construction, and baselined so the `--check` perf gate fails
+/// alongside the release test gate if a per-I/O allocation sneaks back in.
+fn steady_replay(chips: usize) -> (RunMetrics, f64) {
+    const TOTAL: u64 = 6_000;
+    const WARMUP: u64 = 3_000;
+    const PAGES: u32 = 8;
+    const WRITE_BASES: u64 = 64;
+    let config = SsdConfig::paper_default()
+        .with_chip_count(chips)
+        .with_blocks_per_plane(64);
+    let scope: Rc<Cell<Option<AllocScope>>> = Rc::new(Cell::new(None));
+    let steady_allocs: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
+    let (scope_w, allocs_w) = (Rc::clone(&scope), Rc::clone(&steady_allocs));
+    let mut yielded = 0u64;
+    let source = std::iter::from_fn(move || {
+        if yielded == TOTAL {
+            if let Some(open) = scope_w.get() {
+                allocs_w.set(Some(open.allocations()));
+            }
+            return None;
+        }
+        let i = yielded;
+        yielded += 1;
+        if yielded == WARMUP {
+            scope_w.set(Some(AllocScope::begin()));
+        }
+        let (direction, lpn) = if i.is_multiple_of(2) {
+            (Direction::Read, Lpn::new((i * 13) % 4096))
+        } else {
+            (Direction::Write, Lpn::new((i % WRITE_BASES) * PAGES as u64))
+        };
+        Some(HostRequest::new(
+            i,
+            SimTime::from_nanos(i * 1_000),
+            direction,
+            lpn,
+            PAGES,
+        ))
+    });
+    let ssd = Ssd::new(config, SchedulerKind::Spk3.build()).expect("steady-replay config is valid");
+    let metrics = ssd.run_stream(source);
+    let allocs = steady_allocs.get().expect("the replay drained the source") as f64;
+    (metrics, allocs / (TOTAL - WARMUP) as f64)
+}
+
+/// `BENCH_seed.json`: the fig10 headline comparison at bench scale, plus the
+/// always-on telemetry counters and the steady-state allocation budget of the
+/// paper-geometry replay.
 fn seed_metrics() -> Vec<(&'static str, f64)> {
     let comparison = fig10::run(&ExperimentScale::bench(), None);
     let bandwidth_x = comparison.bandwidth_speedup(SchedulerKind::Spk3, SchedulerKind::Vas);
     let latency_pct = 100.0 * comparison.latency_reduction(SchedulerKind::Spk3, SchedulerKind::Vas);
+    let spk3_rounds: u64 = comparison
+        .workloads
+        .iter()
+        .filter_map(|w| comparison.metrics(w, SchedulerKind::Spk3))
+        .map(|m| m.telemetry.sched_rounds)
+        .sum();
+    let spk3_faro: u64 = comparison
+        .workloads
+        .iter()
+        .filter_map(|w| comparison.metrics(w, SchedulerKind::Spk3))
+        .map(|m| m.telemetry.faro_fast_path_rounds)
+        .sum();
+    let (steady, allocs_per_io) = steady_replay(64);
     vec![
         ("fig10_spk3_vas_bandwidth_x", bandwidth_x),
         ("fig10_spk3_vas_latency_reduction_pct", latency_pct),
+        ("fig10_spk3_sched_rounds_total", spk3_rounds as f64),
+        ("fig10_spk3_faro_fast_path_rounds_total", spk3_faro as f64),
+        (
+            "steady_replay_stream_admissions",
+            steady.telemetry.stream_admissions as f64,
+        ),
+        ("steady_state_allocs_per_io", allocs_per_io),
     ]
 }
 
@@ -144,6 +226,7 @@ fn scaling_metrics() -> Vec<(&'static str, f64)> {
             .expect("swept point exists")
             .bandwidth_kb_per_sec
     };
+    let (steady_1024, allocs_per_io_1024) = steady_replay(1024);
     vec![
         ("scaling_vas_16chips_kbps", point(16, SchedulerKind::Vas)),
         ("scaling_vas_64chips_kbps", point(64, SchedulerKind::Vas)),
@@ -153,6 +236,11 @@ fn scaling_metrics() -> Vec<(&'static str, f64)> {
             "scaling_spk3_vas_speedup_64chips",
             result.speedup(64, 32).expect("both schedulers ran"),
         ),
+        (
+            "steady_replay_1024chips_sched_rounds",
+            steady_1024.telemetry.sched_rounds as f64,
+        ),
+        ("steady_state_allocs_per_io_1024chips", allocs_per_io_1024),
     ]
 }
 
@@ -164,6 +252,10 @@ fn array_metrics() -> Vec<(&'static str, f64)> {
     let n4 = spk3(4);
     let n16 = spk3(16);
     let vas16 = scenario::array_scaleout_metrics(&scale, 16, SchedulerKind::Vas);
+    // The summary carries the merged per-device telemetry and latency
+    // histogram; baselining counters from it keeps the array merge path
+    // itself under the perf gate.
+    let n16_summary = n16.summary_run_metrics();
     vec![
         ("array_spk3_n1_kbps", n1.bandwidth_kb_per_sec),
         ("array_spk3_n4_kbps", n4.bandwidth_kb_per_sec),
@@ -174,6 +266,14 @@ fn array_metrics() -> Vec<(&'static str, f64)> {
             n16.bandwidth_kb_per_sec / n1.bandwidth_kb_per_sec,
         ),
         ("array_spk3_n16_io_imbalance", n16.skew.io_imbalance),
+        (
+            "array_spk3_n16_sched_rounds",
+            n16_summary.telemetry.sched_rounds as f64,
+        ),
+        (
+            "array_spk3_n16_p99_latency_ns",
+            n16_summary.p99_latency_ns as f64,
+        ),
     ]
 }
 

@@ -183,15 +183,16 @@ impl Chip {
             completion_bus: timing.completion_bus_time(txn),
         };
 
-        // Record die / plane activity for the cell window.
-        for die_index in txn.dies() {
-            let planes: Vec<u32> = txn
-                .requests()
-                .iter()
-                .filter(|r| r.die == die_index)
-                .map(|r| r.plane)
-                .collect();
-            self.dies[die_index as usize].record_activity(&planes, issue_end, cell_end);
+        // Record die / plane activity for the cell window.  One die-level
+        // window per distinct die (first occurrence wins), one plane record
+        // per request — all without collecting scratch vectors, since this
+        // runs once per transaction on the zero-allocation replay path.
+        let requests = txn.requests();
+        for (i, request) in requests.iter().enumerate() {
+            if requests[..i].iter().all(|prev| prev.die != request.die) {
+                self.dies[request.die as usize].record_window(issue_end, cell_end);
+            }
+            self.dies[request.die as usize].record_plane(request.plane, issue_end, cell_end);
         }
 
         self.busy = true;

@@ -266,6 +266,67 @@ impl CommandSequence {
     }
 }
 
+/// The latch-cycle and payload totals of one bus phase, computed in closed
+/// form.  The timing model runs on every transaction the simulator executes,
+/// so it must not materialize the [`CommandSequence`] vectors on the hot path;
+/// these counts are derived arithmetically from the op and request count and
+/// pinned against the materialized sequence by a unit test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusPhaseCounts {
+    /// Command plus address latch cycles in the phase.
+    pub latch_cycles: u32,
+    /// Payload bytes moved over the bus during the phase.
+    pub payload_bytes: u64,
+}
+
+impl BusPhaseCounts {
+    /// Closed-form issue-phase counts for `txn` (commands, addresses, and
+    /// program data-in), equal to the materialized sequence's totals.
+    pub fn issue_of(txn: &FlashTransaction) -> Self {
+        let n = txn.requests().len() as u32;
+        let page_bytes = txn.page_size() as u64;
+        match txn.op() {
+            // Per request: setup + confirm commands and a page address.
+            FlashOp::Read => BusPhaseCounts {
+                latch_cycles: n * (2 + ADDRESS_CYCLES_PAGE),
+                payload_bytes: 0,
+            },
+            // Per request: setup + confirm commands, a page address, and the
+            // page payload latched into the data register.
+            FlashOp::Program => BusPhaseCounts {
+                latch_cycles: n * (2 + ADDRESS_CYCLES_PAGE),
+                payload_bytes: n as u64 * page_bytes,
+            },
+            // Per request: setup + confirm commands and a block address.
+            FlashOp::Erase => BusPhaseCounts {
+                latch_cycles: n * (2 + ADDRESS_CYCLES_BLOCK),
+                payload_bytes: 0,
+            },
+        }
+    }
+
+    /// Closed-form completion-phase counts for `txn` (random-data-out
+    /// streaming for reads, status polling for all ops), equal to the
+    /// materialized sequence's totals.
+    pub fn completion_of(txn: &FlashTransaction) -> Self {
+        let n = txn.requests().len() as u32;
+        let page_bytes = txn.page_size() as u64;
+        match txn.op() {
+            // Per request: random-data-out setup + confirm commands and a page
+            // address, then the page streamed out; one final status read.
+            FlashOp::Read => BusPhaseCounts {
+                latch_cycles: n * (2 + ADDRESS_CYCLES_PAGE) + 1,
+                payload_bytes: n as u64 * page_bytes,
+            },
+            // Status poll only.
+            FlashOp::Program | FlashOp::Erase => BusPhaseCounts {
+                latch_cycles: 1,
+                payload_bytes: 0,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +408,39 @@ mod tests {
         let seq = CommandSequence::for_transaction(&txn(FlashOp::Program, &[(0, 0)]));
         assert_eq!(seq.completion_command_cycles(), 1);
         assert_eq!(seq.completion_address_cycles(), 0);
+    }
+
+    /// The closed-form counts the timing hot path uses must equal the
+    /// materialized command sequence, for every op and folding degree.
+    #[test]
+    fn closed_form_counts_match_the_materialized_sequence() {
+        let shapes: &[&[(u32, u32)]] = &[
+            &[(0, 0)],
+            &[(0, 0), (0, 1)],
+            &[(0, 0), (0, 1), (1, 0)],
+            &[(0, 0), (0, 1), (1, 0), (1, 1)],
+        ];
+        for op in [FlashOp::Read, FlashOp::Program, FlashOp::Erase] {
+            for planes in shapes {
+                let txn = txn(op, planes);
+                let seq = CommandSequence::for_transaction(&txn);
+                let issue = BusPhaseCounts::issue_of(&txn);
+                assert_eq!(
+                    issue.latch_cycles,
+                    seq.issue_command_cycles() + seq.issue_address_cycles(),
+                    "{op:?} x{}: issue latch cycles",
+                    planes.len(),
+                );
+                assert_eq!(issue.payload_bytes, seq.data_in_bytes());
+                let completion = BusPhaseCounts::completion_of(&txn);
+                assert_eq!(
+                    completion.latch_cycles,
+                    seq.completion_command_cycles() + seq.completion_address_cycles(),
+                    "{op:?} x{}: completion latch cycles",
+                    planes.len(),
+                );
+                assert_eq!(completion.payload_bytes, seq.data_out_bytes());
+            }
+        }
     }
 }

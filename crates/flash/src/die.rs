@@ -39,12 +39,25 @@ impl Die {
     /// `[start, end]`.  The die's R/B signal covers the whole window regardless of
     /// how many of its planes participate.
     pub fn record_activity(&mut self, plane_indices: &[u32], start: SimTime, end: SimTime) {
+        self.record_window(start, end);
+        for &p in plane_indices {
+            self.record_plane(p, start, end);
+        }
+    }
+
+    /// Records one die-level operation window (R/B asserted over `[start, end]`)
+    /// without touching plane accounting.  Together with
+    /// [`Die::record_plane`] this lets callers that already iterate their
+    /// requests record activity without collecting a plane-index slice first.
+    pub fn record_window(&mut self, start: SimTime, end: SimTime) {
         self.busy_total += end.saturating_since(start);
         self.operations += 1;
         self.ready_at = self.ready_at.max(end);
-        for &p in plane_indices {
-            self.planes[p as usize].record_activity(start, end);
-        }
+    }
+
+    /// Records activity of a single plane over `[start, end]`.
+    pub fn record_plane(&mut self, plane: u32, start: SimTime, end: SimTime) {
+        self.planes[plane as usize].record_activity(start, end);
     }
 
     /// Total time the die's R/B signal was asserted.

@@ -55,7 +55,7 @@ pub mod transaction;
 pub use address::{ChipLocation, Lpn, PhysicalPageAddr, Ppn};
 pub use cell::CellArray;
 pub use chip::{Chip, ChipPhase};
-pub use command::{BusCycleKind, CommandSequence, FlashCommand};
+pub use command::{BusCycleKind, BusPhaseCounts, CommandSequence, FlashCommand};
 pub use die::Die;
 pub use error::FlashError;
 pub use geometry::FlashGeometry;

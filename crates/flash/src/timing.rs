@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 use sprinkler_sim::Duration;
 
-use crate::command::CommandSequence;
+use crate::command::BusPhaseCounts;
 use crate::transaction::{FlashOp, FlashTransaction};
 
 /// ONFI interface speed grades.  The paper notes vendors ship ONFI 2.x rather than
@@ -188,23 +188,20 @@ impl FlashTiming {
     }
 
     /// Time for the bus (issue) phase of a transaction: command and address latch
-    /// cycles plus program payload transfer into the chip.
+    /// cycles plus program payload transfer into the chip.  Uses the
+    /// closed-form [`BusPhaseCounts`] — this runs once per transaction on the
+    /// simulator's hot path and must not allocate.
     pub fn issue_bus_time(&self, txn: &FlashTransaction) -> Duration {
-        let seq = CommandSequence::for_transaction(txn);
-        self.cycles_time(
-            seq.issue_command_cycles() + seq.issue_address_cycles(),
-            seq.data_in_bytes(),
-        ) + self.decision_overhead
+        let counts = BusPhaseCounts::issue_of(txn);
+        self.cycles_time(counts.latch_cycles, counts.payload_bytes) + self.decision_overhead
     }
 
     /// Time for the completion phase on the bus: read payload transfer out of the
-    /// chip plus status polling.
+    /// chip plus status polling.  Closed-form, alloc-free (see
+    /// [`Self::issue_bus_time`]).
     pub fn completion_bus_time(&self, txn: &FlashTransaction) -> Duration {
-        let seq = CommandSequence::for_transaction(txn);
-        self.cycles_time(
-            seq.completion_command_cycles() + seq.completion_address_cycles(),
-            seq.data_out_bytes(),
-        )
+        let counts = BusPhaseCounts::completion_of(txn);
+        self.cycles_time(counts.latch_cycles, counts.payload_bytes)
     }
 
     /// Cell-array time of the transaction.  Requests on different dies/planes

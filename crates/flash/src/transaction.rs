@@ -146,19 +146,33 @@ impl FlashTransaction {
     }
 
     /// Number of distinct dies the transaction touches.
+    ///
+    /// Allocation-free distinct count: a request's die is counted only the
+    /// first time it appears.  Transactions hold at most dies × planes
+    /// requests (8 in the paper's geometry), so the quadratic scan is cheaper
+    /// than building a sorted scratch vector — and it keeps the per-round hot
+    /// path of the zero-allocation replay gate clean.
     pub fn active_dies(&self) -> usize {
-        let mut dies: Vec<u32> = self.requests.iter().map(|r| r.die).collect();
-        dies.sort_unstable();
-        dies.dedup();
-        dies.len()
+        self.requests
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| self.requests[..*i].iter().all(|prev| prev.die != r.die))
+            .count()
     }
 
     /// Number of distinct (die, plane) pairs the transaction touches.
+    ///
+    /// Allocation-free for the same reason as [`FlashTransaction::active_dies`].
     pub fn active_planes(&self) -> usize {
-        let mut planes: Vec<(u32, u32)> = self.requests.iter().map(|r| (r.die, r.plane)).collect();
-        planes.sort_unstable();
-        planes.dedup();
-        planes.len()
+        self.requests
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                self.requests[..*i]
+                    .iter()
+                    .all(|prev| (prev.die, prev.plane) != (r.die, r.plane))
+            })
+            .count()
     }
 
     /// Classifies the flash-level parallelism of the transaction.
@@ -188,6 +202,13 @@ impl FlashTransaction {
         planes.dedup();
         planes
     }
+
+    /// Consumes the transaction and returns its request buffer so callers can
+    /// recycle the allocation into the next [`TransactionBuilder`] (see
+    /// [`TransactionBuilder::new_with_buffer`]).
+    pub fn into_requests(self) -> Vec<PhysicalPageAddr> {
+        self.requests
+    }
 }
 
 /// Incrementally coalesces page requests into a [`FlashTransaction`], enforcing the
@@ -209,10 +230,23 @@ pub struct TransactionBuilder {
 impl TransactionBuilder {
     /// Creates a builder for the given operation in the given geometry.
     pub fn new(op: FlashOp, geometry: FlashGeometry) -> Self {
+        Self::new_with_buffer(op, geometry, Vec::new())
+    }
+
+    /// Like [`TransactionBuilder::new`] but adopts `buffer` (cleared) as the
+    /// request storage, so a buffer recycled from
+    /// [`FlashTransaction::into_requests`] makes the build allocation-free once
+    /// its capacity covers the coalescing limit.
+    pub fn new_with_buffer(
+        op: FlashOp,
+        geometry: FlashGeometry,
+        mut buffer: Vec<PhysicalPageAddr>,
+    ) -> Self {
+        buffer.clear();
         TransactionBuilder {
             op,
             geometry,
-            requests: Vec::new(),
+            requests: buffer,
             strict_plane_pairing: false,
         }
     }
@@ -281,10 +315,11 @@ impl TransactionBuilder {
         let Some(first) = self.requests.first() else {
             return Err(FlashError::EmptyTransaction);
         };
+        let chip = first.chip();
         Ok(FlashTransaction {
             op: self.op,
-            chip: first.chip(),
-            requests: self.requests.clone(),
+            chip,
+            requests: self.requests,
             page_size: self.geometry.page_size,
         })
     }
@@ -437,6 +472,26 @@ mod tests {
         assert!(ParallelismLevel::NonPal < ParallelismLevel::Pal1);
         assert!(ParallelismLevel::Pal2 < ParallelismLevel::Pal3);
         assert_eq!(ParallelismLevel::ALL.len(), 4);
+    }
+
+    #[test]
+    fn request_buffers_round_trip_through_builds() {
+        let g = g();
+        let mut b = TransactionBuilder::new(FlashOp::Read, g.clone());
+        b.try_add(g.page_addr(0, 0, 0, 0, 1, 2)).unwrap();
+        b.try_add(g.page_addr(0, 0, 1, 0, 1, 2)).unwrap();
+        let buffer = b.build().unwrap().into_requests();
+        assert_eq!(buffer.len(), 2);
+        let capacity = buffer.capacity();
+
+        // The recycled buffer is cleared on adoption and reused without growth.
+        let mut b = TransactionBuilder::new_with_buffer(FlashOp::Program, g.clone(), buffer);
+        assert!(b.is_empty());
+        b.try_add(g.page_addr(0, 1, 0, 1, 4, 0)).unwrap();
+        let txn = b.build().unwrap();
+        assert_eq!(txn.requests().len(), 1);
+        assert_eq!(txn.chip(), ChipLocation { channel: 0, way: 1 });
+        assert_eq!(txn.into_requests().capacity(), capacity);
     }
 
     #[test]

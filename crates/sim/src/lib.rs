@@ -39,9 +39,14 @@
 pub mod event;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use event::EventQueue;
 pub use rng::{DeterministicRng, SplitMix64};
 pub use stats::{Counter, Histogram, MeanStat, RateTracker, Summary, TimeWeighted};
+pub use telemetry::{
+    alloc_count, bytes_allocated, panic_on_alloc, AllocScope, CountingAllocator, TelemetryCounters,
+    TelemetrySnapshot,
+};
 pub use time::{Duration, SimTime};

@@ -356,6 +356,9 @@ pub struct Histogram {
     total: u64,
     sum: u128,
     max: u64,
+    /// Non-zero iff the bounds are `start, start*2, start*4, ...`: enables the
+    /// O(1) `leading_zeros` bucket lookup instead of a bound scan.
+    pow2_start: u64,
 }
 
 impl Histogram {
@@ -377,23 +380,55 @@ impl Histogram {
             total: 0,
             sum: 0,
             max: 0,
+            pow2_start: 0,
         }
     }
 
     /// Creates a histogram with exponentially growing bounds: `start, start*2, ...`
     /// for `n` buckets.
+    ///
+    /// Bucket counts large enough that a doubling would overflow `u64` are
+    /// clamped: bound generation stops at the last representable power-of-two
+    /// multiple of `start`, and everything above it lands in the overflow
+    /// bucket.  (The seed built each bound with `start * (1 << i)`, where the
+    /// shift itself overflows for `n >= 64`.)
     pub fn exponential(start: u64, n: usize) -> Self {
         assert!(start > 0 && n > 0);
-        let bounds: Vec<u64> = (0..n).map(|i| start.saturating_mul(1 << i)).collect();
-        Self::with_bounds(&bounds)
+        let mut bounds = Vec::with_capacity(n);
+        let mut bound = start;
+        for _ in 0..n {
+            bounds.push(bound);
+            match bound.checked_mul(2) {
+                Some(next) => bound = next,
+                None => break,
+            }
+        }
+        let mut h = Self::with_bounds(&bounds);
+        h.pow2_start = start;
+        h
+    }
+
+    /// The bucket a sample falls into: O(1) via `leading_zeros` for
+    /// exponential bounds, a binary search otherwise.
+    fn bucket_index(&self, sample: u64) -> usize {
+        if self.pow2_start != 0 {
+            if sample <= self.pow2_start {
+                0
+            } else {
+                // Smallest i with start * 2^i >= sample.  q = ceil(sample /
+                // start) - 1 rounded into [1, ..], so the answer is the bit
+                // length of q — a single leading_zeros instruction.
+                let q = (sample - 1) / self.pow2_start;
+                ((64 - q.leading_zeros()) as usize).min(self.bounds.len())
+            }
+        } else {
+            self.bounds.partition_point(|&b| b < sample)
+        }
     }
 
     /// Records one sample.
     pub fn record(&mut self, sample: u64) {
-        let idx = match self.bounds.iter().position(|&b| sample <= b) {
-            Some(i) => i,
-            None => self.bounds.len(),
-        };
+        let idx = self.bucket_index(sample);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += sample as u128;
@@ -672,6 +707,56 @@ mod tests {
     fn histogram_exponential_bounds() {
         let h = Histogram::exponential(8, 4);
         assert_eq!(h.bounds(), &[8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn exponential_bounds_clamp_instead_of_overflowing() {
+        // n >= 64 used to overflow the `1 << i` shift before the saturating
+        // multiply could help; now generation stops at the last representable
+        // bound and stays strictly increasing.
+        let h = Histogram::exponential(1 << 62, 70);
+        assert_eq!(h.bounds(), &[1 << 62, 1 << 63]);
+        let h = Histogram::exponential(3, 128);
+        assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*h.bounds().last().unwrap(), 3u64 << 62);
+
+        let mut h = Histogram::exponential(1 << 62, 70);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts(), &[0, 0, 1]);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn o1_bucket_indexing_matches_the_linear_scan() {
+        for start in [1u64, 3, 8, 1_000] {
+            let h = Histogram::exponential(start, 27);
+            let mut samples: Vec<u64> = vec![0, 1, start, u64::MAX];
+            for &b in h.bounds() {
+                samples.extend([b - 1, b, b + 1, b.saturating_mul(3) / 2]);
+            }
+            for sample in samples {
+                let scan = h
+                    .bounds()
+                    .iter()
+                    .position(|&b| sample <= b)
+                    .unwrap_or(h.bounds().len());
+                assert_eq!(
+                    h.bucket_index(sample),
+                    scan,
+                    "start {start}, sample {sample}"
+                );
+            }
+        }
+        // Arbitrary (non-exponential) bounds take the search path and agree too.
+        let h = Histogram::with_bounds(&[10, 20, 40]);
+        for sample in [0, 9, 10, 11, 20, 39, 40, 41, u64::MAX] {
+            let scan = h
+                .bounds()
+                .iter()
+                .position(|&b| sample <= b)
+                .unwrap_or(h.bounds().len());
+            assert_eq!(h.bucket_index(sample), scan);
+        }
     }
 
     #[test]

@@ -49,6 +49,63 @@ pub struct BuiltTransaction {
     pub contains_gc: bool,
 }
 
+/// Reusable scratch for [`FlashController::build_transaction_with`].
+///
+/// The controller itself is serializable simulation state, so the scratch
+/// lives with the caller (the SSD owns one) and is threaded through each
+/// build.  Once its buffers and pools have grown to the coalescing high-water
+/// mark, transaction building performs no allocations: the per-build `Vec`s
+/// handed out inside [`BuiltTransaction`] come back through
+/// [`TxnScratch::recycle_members`] / [`TxnScratch::recycle_requests`] when the
+/// transaction completes.
+#[derive(Debug, Default)]
+pub struct TxnScratch {
+    /// Candidate pending-set indices, sorted into service order.
+    order: Vec<usize>,
+    /// Pending-set indices accepted into the transaction, in builder order.
+    accepted: Vec<usize>,
+    /// Recycled request buffers for [`TransactionBuilder::new_with_buffer`].
+    request_pool: Vec<Vec<PhysicalPageAddr>>,
+    /// Recycled member-id buffers for [`BuiltTransaction::members`].
+    member_pool: Vec<Vec<MemReqId>>,
+}
+
+impl TxnScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a spent request buffer (from
+    /// [`FlashTransaction::into_requests`]) to the pool.
+    pub fn recycle_requests(&mut self, buffer: Vec<PhysicalPageAddr>) {
+        self.request_pool.push(buffer);
+    }
+
+    /// Returns a spent member buffer (from [`BuiltTransaction::members`]) to
+    /// the pool.
+    pub fn recycle_members(&mut self, buffer: Vec<MemReqId>) {
+        self.member_pool.push(buffer);
+    }
+
+    /// Pre-sizes every buffer to its structural bound so the scratch never
+    /// grows on the hot path: `max_pending` bounds a chip's pending set (the
+    /// per-chip commitment cap), `max_fold` bounds a transaction's request
+    /// count (distinct (die, plane) pairs), and `txn_slots` bounds the number
+    /// of member buffers simultaneously checked out (live transactions, at
+    /// most one per chip plus one being built).
+    pub fn preallocate(&mut self, max_pending: usize, max_fold: usize, txn_slots: usize) {
+        self.order.reserve(max_pending);
+        self.accepted.reserve(max_pending);
+        while self.request_pool.len() < 2 {
+            self.request_pool.push(Vec::with_capacity(max_fold));
+        }
+        while self.member_pool.len() < txn_slots + 1 {
+            self.member_pool.push(Vec::with_capacity(max_fold));
+        }
+    }
+}
+
 /// The flash controller of one channel.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlashController {
@@ -128,6 +185,18 @@ impl FlashController {
         way: usize,
         geometry: &FlashGeometry,
     ) -> Option<BuiltTransaction> {
+        let mut scratch = TxnScratch::new();
+        self.build_transaction_with(way, geometry, &mut scratch)
+    }
+
+    /// [`FlashController::build_transaction`] with caller-provided scratch, so
+    /// a warmed-up scratch makes the build allocation-free.
+    pub fn build_transaction_with(
+        &mut self,
+        way: usize,
+        geometry: &FlashGeometry,
+        scratch: &mut TxnScratch,
+    ) -> Option<BuiltTransaction> {
         let queue = &mut self.pending[way];
         if queue.is_empty() {
             return None;
@@ -140,13 +209,20 @@ impl FlashController {
             .map(|(i, _)| i)?;
         let op = queue[seed_index].op;
 
-        let mut builder = TransactionBuilder::new(op, geometry.clone());
-        let mut members: Vec<usize> = Vec::new();
+        let mut builder = TransactionBuilder::new_with_buffer(
+            op,
+            geometry.clone(),
+            scratch.request_pool.pop().unwrap_or_default(),
+        );
 
         // Candidates of the same op, ordered GC-first then oldest-first, seed
-        // guaranteed to be first.
-        let mut order: Vec<usize> = (0..queue.len()).filter(|&i| queue[i].op == op).collect();
-        order.sort_by_key(|&i| {
+        // guaranteed to be first.  The key is a total order (ids are unique),
+        // so the outcome is independent of the pending set's internal order.
+        scratch.order.clear();
+        scratch
+            .order
+            .extend((0..queue.len()).filter(|&i| queue[i].op == op));
+        scratch.order.sort_by_key(|&i| {
             (
                 i != seed_index,
                 !queue[i].gc,
@@ -155,35 +231,40 @@ impl FlashController {
             )
         });
 
-        for i in order {
+        scratch.accepted.clear();
+        for &i in &scratch.order {
             if builder.try_add(queue[i].addr).is_ok() {
-                members.push(i);
+                scratch.accepted.push(i);
             }
         }
-        debug_assert!(!members.is_empty());
+        debug_assert!(!scratch.accepted.is_empty());
         let txn = builder.build().ok()?;
-        if members.len() > 1 {
-            self.coalesced += members.len() as u64;
+        if scratch.accepted.len() > 1 {
+            self.coalesced += scratch.accepted.len() as u64;
         }
 
-        // Extract the chosen requests (largest index first so removals stay valid).
-        let mut chosen: Vec<(usize, PendingRequest)> = Vec::with_capacity(members.len());
-        let mut indices = members.clone();
-        indices.sort_unstable_by(|a, b| b.cmp(a));
-        for i in indices {
-            chosen.push((i, queue.remove(i)));
+        // Collect member data in builder-insertion order (txn.requests() order)
+        // before any removal disturbs the indices.
+        let mut members = scratch.member_pool.pop().unwrap_or_default();
+        members.clear();
+        let mut extra_delay = Duration::ZERO;
+        let mut contains_gc = false;
+        for &i in &scratch.accepted {
+            let request = &queue[i];
+            members.push(request.id);
+            extra_delay = extra_delay.max(request.extra_delay);
+            contains_gc |= request.gc;
         }
-        // Restore the builder's insertion order (txn.requests() order).
-        chosen.sort_by_key(|(i, _)| members.iter().position(|&m| m == *i).unwrap_or(usize::MAX));
-        let extra_delay = chosen
-            .iter()
-            .map(|(_, r)| r.extra_delay)
-            .max()
-            .unwrap_or(Duration::ZERO);
-        let contains_gc = chosen.iter().any(|(_, r)| r.gc);
+        // Extract the chosen requests, largest index first so the remaining
+        // indices stay valid.  `swap_remove` reorders the pending set, which
+        // is fine: selection above never depends on positional order.
+        scratch.accepted.sort_unstable_by(|a, b| b.cmp(a));
+        for &i in &scratch.accepted {
+            queue.swap_remove(i);
+        }
         Some(BuiltTransaction {
             txn,
-            members: chosen.into_iter().map(|(_, r)| r.id).collect(),
+            members,
             extra_delay,
             contains_gc,
         })

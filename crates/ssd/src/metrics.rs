@@ -4,9 +4,11 @@
 //! of a run it is frozen into a [`RunMetrics`] value that the experiment harness
 //! turns into the rows and series of the paper's tables and figures.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use sprinkler_flash::ParallelismLevel;
-use sprinkler_sim::{Duration, Histogram, MeanStat, SimTime};
+use sprinkler_sim::{Duration, Histogram, MeanStat, SimTime, TelemetryCounters, TelemetrySnapshot};
 
 use crate::ftl::GcStats;
 
@@ -39,6 +41,12 @@ pub fn merged_latency_quantile<'a>(runs: impl IntoIterator<Item = &'a RunMetrics
     let mut counts = vec![0u64; LATENCY_HIST_BUCKETS + 1];
     let mut max_latency = 0u64;
     for run in runs {
+        // A run that contributed no bucket counts must not contribute its
+        // `max_latency_ns` either: the overflow-bucket answer would otherwise
+        // report a latency absent from the merged samples.
+        if run.latency_buckets.iter().all(|&count| count == 0) {
+            continue;
+        }
         max_latency = max_latency.max(run.max_latency_ns);
         for (slot, &count) in counts.iter_mut().zip(&run.latency_buckets) {
             *slot += count;
@@ -182,6 +190,9 @@ pub struct RunMetrics {
     /// Optional per-I/O latency time series `(host request id, latency ns)`
     /// (Fig 12); populated only when series recording is enabled.
     pub latency_series: Vec<(u64, u64)>,
+    /// Always-on hot-path telemetry counters, frozen at finalize.  Summed
+    /// elementwise when device runs are aggregated into an array summary.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl RunMetrics {
@@ -220,6 +231,7 @@ pub struct MetricsCollector {
     latency_series: Vec<(u64, u64)>,
     peak_host_backlog: u64,
     peak_pending_events: u64,
+    telemetry: Arc<TelemetryCounters>,
 }
 
 impl MetricsCollector {
@@ -248,7 +260,15 @@ impl MetricsCollector {
             latency_series: Vec::new(),
             peak_host_backlog: 0,
             peak_pending_events: 0,
+            telemetry: Arc::new(TelemetryCounters::new()),
         }
+    }
+
+    /// The run's hot-path telemetry counters.  The SSD substrate and its
+    /// scheduler clone this `Arc` and increment the counters directly; the
+    /// collector freezes them into [`RunMetrics::telemetry`] at finalize.
+    pub fn telemetry(&self) -> &Arc<TelemetryCounters> {
+        &self.telemetry
     }
 
     /// Records the replay loop's memory pressure: how many host requests sit
@@ -426,6 +446,7 @@ impl MetricsCollector {
             gc,
             latency_buckets: self.latency_hist.bucket_counts().to_vec(),
             latency_series: self.latency_series,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 }
@@ -602,6 +623,38 @@ mod tests {
         let merged = weighted_mean_latency_ns([&a, &b]);
         assert!((merged - 18_000.0).abs() < 1.0, "got {merged}");
         assert_eq!(weighted_mean_latency_ns([]), 0.0);
+    }
+
+    #[test]
+    fn empty_bucket_runs_do_not_leak_their_max_into_the_merge() {
+        let real = run_with_latencies(&[10, 20, 30]);
+        // A run carrying a max but no bucket counts (e.g. a legacy summary)
+        // must not become the merged overflow answer.
+        let phantom = RunMetrics {
+            max_latency_ns: u64::MAX,
+            p99_latency_ns: u64::MAX,
+            ..RunMetrics::default()
+        };
+        assert_eq!(
+            merged_latency_quantile([&real, &phantom], 1.0),
+            merged_latency_quantile([&real], 1.0)
+        );
+        assert_eq!(
+            merged_latency_quantile([&real, &phantom], 0.99),
+            real.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_carried_through_finalize() {
+        let m = MetricsCollector::new("t", false);
+        let counters = Arc::clone(m.telemetry());
+        TelemetryCounters::incr(&counters.sched_rounds);
+        TelemetryCounters::incr(&counters.stream_admissions);
+        let r = m.finalize(SimTime::ZERO, &[], &[], 0, GcStats::default());
+        assert_eq!(r.telemetry.sched_rounds, 1);
+        assert_eq!(r.telemetry.stream_admissions, 1);
+        assert_eq!(r.telemetry.stream_stalls, 0);
     }
 
     #[test]

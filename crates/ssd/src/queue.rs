@@ -26,11 +26,18 @@
 //!   force-unit-access tags that are not yet fully committed, so the reordering
 //!   horizon is an O(1) lookup.
 //!
+//! All three indices are sorted vectors, not B-trees: at steady state their
+//! capacity is retained across churn, so index maintenance performs no
+//! allocations once the high-water mark is reached (a B-tree frees and
+//! re-allocates nodes as sets empty and refill, which defeats the
+//! zero-allocation replay gate).  Entry counts are bounded by the queued work,
+//! so the O(n) memmove per insert/remove is a handful of cache lines.
+//!
 //! To keep the indices coherent, all mutation of queued tag state goes through the
 //! queue ([`DeviceQueue::commit_page`], [`DeviceQueue::complete_page`],
 //! [`DeviceQueue::refresh_placements`]); queued tags are only handed out immutably.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use sprinkler_sim::SimTime;
@@ -192,14 +199,23 @@ pub struct DeviceQueue {
     next_seq: u64,
     /// Total uncommitted pages across all queued tags.
     uncommitted_total: usize,
-    /// chip → (admission seq, page, raw tag id, slot handle) of every
-    /// uncommitted page targeting that chip.  The slot handle lets consumers
-    /// reach the tag state without a hash lookup per candidate.
-    chip_index: BTreeMap<usize, BTreeSet<(u64, u32, u64, usize)>>,
-    /// lpn → admission seqs of read tags whose page at that LPN is uncommitted.
-    read_lpn_index: BTreeMap<u64, BTreeSet<u64>>,
-    /// Admission seqs of queued FUA tags that are not yet fully committed.
-    fua_pending: BTreeSet<u64>,
+    /// Per-chip candidate entries `(admission seq, page, raw tag id, slot
+    /// handle)` of every uncommitted page targeting that chip, each inner
+    /// vector sorted ascending.  The slot handle lets consumers reach the tag
+    /// state without a hash lookup per candidate.  Emptied inner vectors are
+    /// retained (capacity and all) so steady-state churn never allocates; the
+    /// outer vector grows to the highest chip index seen.
+    chip_entries: Vec<Vec<(u64, u32, u64, usize)>>,
+    /// Sorted chip indices whose `chip_entries` vector is non-empty.
+    active_chips: Vec<usize>,
+    /// Sorted `(lpn, seq)` pairs: read tags whose page at that LPN is
+    /// uncommitted.
+    read_lpn_index: Vec<(u64, u64)>,
+    /// Sorted admission seqs of queued FUA tags not yet fully committed.
+    fua_pending: Vec<u64>,
+    /// Recycled [`TagState`] storage: retired tags returned via
+    /// [`DeviceQueue::recycle`] donate their heap buffers to later admissions.
+    spare_states: Vec<TagState>,
 }
 
 impl DeviceQueue {
@@ -208,16 +224,63 @@ impl DeviceQueue {
         DeviceQueue {
             capacity,
             slots: Vec::with_capacity(capacity),
-            free: Vec::new(),
+            free: Vec::with_capacity(capacity),
             slot_of: HashMap::with_capacity(capacity),
             head: NIL,
             tail: NIL,
             len: 0,
             next_seq: 0,
             uncommitted_total: 0,
-            chip_index: BTreeMap::new(),
-            read_lpn_index: BTreeMap::new(),
-            fua_pending: BTreeSet::new(),
+            chip_entries: Vec::new(),
+            active_chips: Vec::new(),
+            read_lpn_index: Vec::new(),
+            fua_pending: Vec::with_capacity(capacity),
+            spare_states: Vec::with_capacity(capacity),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sorted-vector index maintenance (allocation-free at steady state)
+    // ------------------------------------------------------------------
+
+    fn chip_insert(&mut self, chip: usize, key: (u64, u32, u64, usize)) {
+        if chip >= self.chip_entries.len() {
+            self.chip_entries.resize_with(chip + 1, Vec::new);
+        }
+        let entries = &mut self.chip_entries[chip];
+        if entries.is_empty() {
+            let pos = self.active_chips.partition_point(|&c| c < chip);
+            self.active_chips.insert(pos, chip);
+        }
+        match entries.binary_search(&key) {
+            // Admission seqs are unique per page, so duplicates cannot occur.
+            Ok(_) => debug_assert!(false, "duplicate chip-index entry"),
+            Err(pos) => entries.insert(pos, key),
+        }
+    }
+
+    fn chip_remove(&mut self, chip: usize, key: &(u64, u32, u64, usize)) {
+        if let Some(entries) = self.chip_entries.get_mut(chip) {
+            if let Ok(pos) = entries.binary_search(key) {
+                entries.remove(pos);
+                if entries.is_empty() {
+                    if let Ok(active) = self.active_chips.binary_search(&chip) {
+                        self.active_chips.remove(active);
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_lpn_insert(&mut self, lpn: u64, seq: u64) {
+        if let Err(pos) = self.read_lpn_index.binary_search(&(lpn, seq)) {
+            self.read_lpn_index.insert(pos, (lpn, seq));
+        }
+    }
+
+    fn read_lpn_remove(&mut self, lpn: u64, seq: u64) {
+        if let Ok(pos) = self.read_lpn_index.binary_search(&(lpn, seq)) {
+            self.read_lpn_index.remove(pos);
         }
     }
 
@@ -255,6 +318,33 @@ impl DeviceQueue {
         now: SimTime,
         placements: Vec<Placement>,
     ) -> bool {
+        if placements.is_empty() {
+            self.admit_with(id, host, now, |_| Placement {
+                chip: 0,
+                channel: 0,
+                way: 0,
+                die: 0,
+                plane: 0,
+            })
+        } else {
+            debug_assert_eq!(placements.len(), host.pages as usize);
+            self.admit_with(id, host, now, |page| placements[page as usize])
+        }
+    }
+
+    /// [`DeviceQueue::admit`] with the placement previews produced in place by
+    /// `placement_of` (called once per page, in page order), filling buffers
+    /// recycled from retired tags instead of taking a freshly allocated
+    /// `Vec<Placement>`.  The replay hot path admits through this entry point
+    /// so steady-state admission performs no allocations.
+    #[must_use = "admission fails when the queue is full; the request would be lost"]
+    pub fn admit_with(
+        &mut self,
+        id: TagId,
+        host: HostRequest,
+        now: SimTime,
+        mut placement_of: impl FnMut(u32) -> Placement,
+    ) -> bool {
         if self.is_full() {
             return false;
         }
@@ -262,21 +352,38 @@ impl DeviceQueue {
             !self.slot_of.contains_key(&id),
             "tag {id} is already queued"
         );
-        let placements = if placements.is_empty() {
-            vec![
-                Placement {
-                    chip: 0,
-                    channel: 0,
-                    way: 0,
-                    die: 0,
-                    plane: 0,
-                };
-                host.pages as usize
-            ]
-        } else {
-            placements
+        let pages = host.pages as usize;
+        let mut state = match self.spare_states.pop() {
+            Some(mut spare) => {
+                spare.placements.clear();
+                spare.committed.clear();
+                spare.completed.clear();
+                spare.id = id;
+                spare.host = host;
+                spare.admitted_at = now;
+                spare
+            }
+            None => TagState {
+                id,
+                seq: 0,
+                host,
+                admitted_at: now,
+                placements: Vec::new(),
+                committed: Vec::new(),
+                completed: Vec::new(),
+                committed_count: 0,
+                completed_count: 0,
+                first_commit_at: None,
+            },
         };
-        let mut state = TagState::new(id, host, now, placements);
+        state
+            .placements
+            .extend((0..host.pages).map(&mut placement_of));
+        state.committed.resize(pages, false);
+        state.completed.resize(pages, false);
+        state.committed_count = 0;
+        state.completed_count = 0;
+        state.first_commit_at = None;
         state.seq = self.next_seq;
         self.next_seq += 1;
         let seq = state.seq;
@@ -296,23 +403,19 @@ impl DeviceQueue {
         };
 
         let is_read = host.direction.is_read();
-        for page in 0..state.pages() {
+        for page in 0..pages {
             let chip = state.placements[page].chip;
-            self.chip_index
-                .entry(chip)
-                .or_default()
-                .insert((seq, page as u32, id.0, slot));
+            self.chip_insert(chip, (seq, page as u32, id.0, slot));
             if is_read {
-                self.read_lpn_index
-                    .entry(host.lpn_at(page as u32).value())
-                    .or_default()
-                    .insert(seq);
+                self.read_lpn_insert(host.lpn_at(page as u32).value(), seq);
             }
         }
         if host.fua {
-            self.fua_pending.insert(seq);
+            // Admission seqs are monotonic, so this is a push in practice.
+            let pos = self.fua_pending.partition_point(|&s| s < seq);
+            self.fua_pending.insert(pos, seq);
         }
-        self.uncommitted_total += state.pages();
+        self.uncommitted_total += pages;
         self.slots[slot].state = Some(state);
         // Link at the tail of the arrival-order list.
         self.slots[slot].prev = self.tail;
@@ -355,8 +458,20 @@ impl DeviceQueue {
                 self.uncommitted_total -= 1;
             }
         }
-        self.fua_pending.remove(&state.seq);
+        if let Ok(pos) = self.fua_pending.binary_search(&state.seq) {
+            self.fua_pending.remove(pos);
+        }
         Some(state)
+    }
+
+    /// Returns a retired [`TagState`]'s heap buffers to the queue's internal
+    /// pool so a later [`DeviceQueue::admit_with`] reuses them instead of
+    /// allocating.  The pool is bounded by the queue capacity; surplus states
+    /// are simply dropped.
+    pub fn recycle(&mut self, state: TagState) {
+        if self.spare_states.len() < self.capacity {
+            self.spare_states.push(state);
+        }
     }
 
     /// Marks a page of a queued tag committed, keeping the hazard and chip indices
@@ -381,22 +496,14 @@ impl DeviceQueue {
             .then(|| state.host.lpn_at(page).value());
         let fua_done = state.host.fua && state.fully_committed();
         self.uncommitted_total -= 1;
-        if let Some(set) = self.chip_index.get_mut(&chip) {
-            set.remove(&(seq, page, id.0, slot));
-            if set.is_empty() {
-                self.chip_index.remove(&chip);
-            }
-        }
+        self.chip_remove(chip, &(seq, page, id.0, slot));
         if let Some(lpn) = read_lpn {
-            if let Some(set) = self.read_lpn_index.get_mut(&lpn) {
-                set.remove(&seq);
-                if set.is_empty() {
-                    self.read_lpn_index.remove(&lpn);
-                }
-            }
+            self.read_lpn_remove(lpn, seq);
         }
         if fua_done {
-            self.fua_pending.remove(&seq);
+            if let Ok(pos) = self.fua_pending.binary_search(&seq) {
+                self.fua_pending.remove(pos);
+            }
         }
         true
     }
@@ -415,28 +522,30 @@ impl DeviceQueue {
     pub fn refresh_placements(&mut self, lpn: u64, preview: Placement) {
         let mut cursor = self.head;
         while cursor != NIL {
-            let slot = &mut self.slots[cursor];
-            let next = slot.next;
-            if let Some(state) = slot.state.as_mut() {
-                let start = state.host.start_lpn.value();
-                let end = start + state.host.pages as u64;
-                if (start..end).contains(&lpn) {
-                    let page = (lpn - start) as usize;
-                    if !state.committed[page] {
-                        let old_chip = state.placements[page].chip;
-                        let key = (state.seq, page as u32, state.id.0, cursor);
-                        state.placements[page] = preview;
-                        if old_chip != preview.chip {
-                            if let Some(set) = self.chip_index.get_mut(&old_chip) {
-                                set.remove(&key);
-                                if set.is_empty() {
-                                    self.chip_index.remove(&old_chip);
-                                }
+            let next;
+            let mut moved: Option<((u64, u32, u64, usize), usize)> = None;
+            {
+                let slot = &mut self.slots[cursor];
+                next = slot.next;
+                if let Some(state) = slot.state.as_mut() {
+                    let start = state.host.start_lpn.value();
+                    let end = start + state.host.pages as u64;
+                    if (start..end).contains(&lpn) {
+                        let page = (lpn - start) as usize;
+                        if !state.committed[page] {
+                            let old_chip = state.placements[page].chip;
+                            let key = (state.seq, page as u32, state.id.0, cursor);
+                            state.placements[page] = preview;
+                            if old_chip != preview.chip {
+                                moved = Some((key, old_chip));
                             }
-                            self.chip_index.entry(preview.chip).or_default().insert(key);
                         }
                     }
                 }
+            }
+            if let Some((key, old_chip)) = moved {
+                self.chip_remove(old_chip, &key);
+                self.chip_insert(preview.chip, key);
             }
             cursor = next;
         }
@@ -445,20 +554,10 @@ impl DeviceQueue {
     /// Removes a page's entries from the chip and read-LPN indices.
     fn unindex_page(&mut self, state: &TagState, page: u32, slot: usize) {
         let chip = state.placements[page as usize].chip;
-        if let Some(set) = self.chip_index.get_mut(&chip) {
-            set.remove(&(state.seq, page, state.id.0, slot));
-            if set.is_empty() {
-                self.chip_index.remove(&chip);
-            }
-        }
+        self.chip_remove(chip, &(state.seq, page, state.id.0, slot));
         if state.host.direction.is_read() {
             let lpn = state.host.lpn_at(page).value();
-            if let Some(set) = self.read_lpn_index.get_mut(&lpn) {
-                set.remove(&state.seq);
-                if set.is_empty() {
-                    self.read_lpn_index.remove(&lpn);
-                }
-            }
+            self.read_lpn_remove(lpn, state.seq);
         }
     }
 
@@ -517,17 +616,19 @@ impl DeviceQueue {
     /// Whether a read tag admitted strictly before `seq` still has an uncommitted
     /// read of logical page `lpn` (the §4.4 write-after-read hazard).  O(log n).
     pub fn has_blocking_read(&self, lpn: u64, seq: u64) -> bool {
+        // Entries are sorted by (lpn, seq); the first entry for `lpn` holds
+        // the earliest reading seq.
+        let pos = self.read_lpn_index.partition_point(|&(l, _)| l < lpn);
         self.read_lpn_index
-            .get(&lpn)
-            .and_then(|set| set.first())
-            .is_some_and(|&earliest| earliest < seq)
+            .get(pos)
+            .is_some_and(|&(l, earliest)| l == lpn && earliest < seq)
     }
 
     /// Chips with at least one uncommitted candidate page, in ascending chip
     /// order.  Iterating this instead of every chip keeps resource-driven
     /// scheduling rounds proportional to queued work, not to the chip population.
     pub fn candidate_chips(&self) -> impl Iterator<Item = usize> + '_ {
-        self.chip_index.keys().copied()
+        self.active_chips.iter().copied()
     }
 
     /// The uncommitted candidate pages targeting one chip, in arrival order
@@ -537,8 +638,8 @@ impl DeviceQueue {
         &self,
         chip: usize,
     ) -> impl Iterator<Item = (u64, u32, TagId, usize)> + '_ {
-        self.chip_index
-            .get(&chip)
+        self.chip_entries
+            .get(chip)
             .into_iter()
             .flatten()
             .map(|&(seq, page, tag, slot)| (seq, page, TagId(tag), slot))
@@ -557,15 +658,10 @@ impl DeviceQueue {
     /// lookup per chip when a round visits many chips.
     pub fn candidate_groups(
         &self,
-    ) -> impl Iterator<
-        Item = (
-            usize,
-            std::collections::btree_set::Iter<'_, (u64, u32, u64, usize)>,
-        ),
-    > + '_ {
-        self.chip_index
+    ) -> impl Iterator<Item = (usize, std::slice::Iter<'_, (u64, u32, u64, usize)>)> + '_ {
+        self.active_chips
             .iter()
-            .map(|(&chip, set)| (chip, set.iter()))
+            .map(move |&chip| (chip, self.chip_entries[chip].iter()))
     }
 
     // ------------------------------------------------------------------
@@ -581,9 +677,8 @@ impl DeviceQueue {
     /// Total entries across the chip, read-LPN, and FUA indices.  Bounded by the
     /// number of queued uncommitted pages.
     pub fn index_entries(&self) -> usize {
-        let chip: usize = self.chip_index.values().map(|set| set.len()).sum();
-        let lpn: usize = self.read_lpn_index.values().map(|set| set.len()).sum();
-        chip + lpn + self.fua_pending.len()
+        let chip: usize = self.chip_entries.iter().map(Vec::len).sum();
+        chip + self.read_lpn_index.len() + self.fua_pending.len()
     }
 }
 
@@ -860,6 +955,56 @@ mod tests {
         assert_eq!(q.total_uncommitted_pages(), 0);
         assert_eq!(q.index_entries(), 0);
         assert!(q.allocated_slots() <= DEPTH);
+    }
+
+    #[test]
+    fn admit_with_fills_placements_and_recycles_storage() {
+        let mut q = DeviceQueue::new(2);
+        assert!(q.admit_with(TagId(0), host(0, 3), SimTime::ZERO, |page| {
+            Placement {
+                chip: page as usize,
+                channel: 0,
+                way: page,
+                die: 0,
+                plane: 0,
+            }
+        }));
+        assert_eq!(q.tag(TagId(0)).unwrap().placements.len(), 3);
+        assert_eq!(q.tag(TagId(0)).unwrap().placements[2].chip, 2);
+        assert_eq!(q.candidate_chips().collect::<Vec<_>>(), vec![0, 1, 2]);
+
+        let retired = q.retire(TagId(0)).unwrap();
+        q.recycle(retired);
+        // A recycled state's buffers are reused and fully reset.
+        assert!(
+            q.admit_with(TagId(1), read_host(1, 10, 2), SimTime::ZERO, |_| {
+                Placement {
+                    chip: 5,
+                    channel: 0,
+                    way: 0,
+                    die: 0,
+                    plane: 0,
+                }
+            })
+        );
+        let tag = q.tag(TagId(1)).unwrap();
+        assert_eq!(tag.id, TagId(1));
+        assert_eq!(tag.pages(), 2);
+        assert_eq!(tag.placements.len(), 2);
+        assert_eq!(tag.uncommitted_count(), 2);
+        assert_eq!(tag.first_commit_at, None);
+        assert_eq!(q.candidate_chips().collect::<Vec<_>>(), vec![5]);
+
+        // The pool is bounded by the queue capacity.
+        for i in 0..10u64 {
+            q.recycle(TagState::new(
+                TagId(100 + i),
+                host(100 + i, 1),
+                SimTime::ZERO,
+                placements(1),
+            ));
+        }
+        assert!(q.spare_states.len() <= q.capacity());
     }
 
     #[test]

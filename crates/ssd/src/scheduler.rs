@@ -8,9 +8,10 @@
 //! and returns the memory requests it wants to compose and commit.
 
 use std::fmt;
+use std::sync::Arc;
 
 use sprinkler_flash::FlashGeometry;
-use sprinkler_sim::SimTime;
+use sprinkler_sim::{SimTime, TelemetryCounters};
 
 use crate::ftl::PageMigration;
 use crate::ledger::CommitmentLedger;
@@ -87,12 +88,28 @@ pub trait IoScheduler: fmt::Debug + Send {
     /// Called once before the simulation starts.
     fn initialize(&mut self, _geometry: &FlashGeometry) {}
 
-    /// Decides which memory requests to compose and commit right now.
+    /// Hands the scheduler the run's telemetry counters (called once, before
+    /// the simulation starts).  Schedulers that instrument their hot path keep
+    /// a clone of the `Arc`; the default implementation ignores it.
+    fn attach_telemetry(&mut self, _telemetry: &Arc<TelemetryCounters>) {}
+
+    /// Decides which memory requests to compose and commit right now,
+    /// appending the decisions to `out` in application order.
     ///
-    /// Returned commitments are applied in order; commitments that are invalid
-    /// (unknown tag, already-committed page) are ignored by the SSD, and
-    /// commitments beyond a chip's hard capacity are deferred.
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment>;
+    /// `out` is a caller-owned scratch buffer (cleared before the call) so the
+    /// per-round hot path performs no allocations once its capacity has grown
+    /// to the high-water mark.  Commitments that are invalid (unknown tag,
+    /// already-committed page) are ignored by the SSD, and commitments beyond
+    /// a chip's hard capacity are deferred.
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>);
+
+    /// Allocating convenience wrapper around [`IoScheduler::schedule_into`]
+    /// for tests and tools that don't manage a reusable buffer.
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+        let mut out = Vec::new();
+        self.schedule_into(ctx, &mut out);
+        out
+    }
 
     /// Notification that a committed memory request completed.
     fn on_complete(&mut self, _tag: TagId, _page: u32) {}
@@ -113,12 +130,15 @@ pub trait IoScheduler: fmt::Debug + Send {
 /// It exists for substrate tests and as a documentation example; the paper's
 /// schedulers live in the `sprinkler-core` crate.
 #[derive(Debug, Default, Clone)]
-pub struct CommitAllScheduler;
+pub struct CommitAllScheduler {
+    /// Reusable per-round scratch: remaining commit budget per chip.
+    budget: Vec<usize>,
+}
 
 impl CommitAllScheduler {
     /// Creates the scheduler.
     pub fn new() -> Self {
-        CommitAllScheduler
+        CommitAllScheduler::default()
     }
 }
 
@@ -127,22 +147,20 @@ impl IoScheduler for CommitAllScheduler {
         "commit-all"
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
-        let mut budget: Vec<usize> = (0..ctx.chip_count())
-            .map(|c| ctx.capacity_left(c))
-            .collect();
-        let mut out = Vec::new();
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
+        self.budget.clear();
+        self.budget
+            .extend((0..ctx.chip_count()).map(|c| ctx.capacity_left(c)));
         for tag in ctx.tags() {
             for page in tag.uncommitted_pages() {
                 let chip = tag.placements[page as usize].chip;
-                if budget.get(chip).copied().unwrap_or(0) == 0 {
+                if self.budget.get(chip).copied().unwrap_or(0) == 0 {
                     continue;
                 }
-                budget[chip] -= 1;
+                self.budget[chip] -= 1;
                 out.push(Commitment { tag: tag.id, page });
             }
         }
-        out
     }
 }
 

@@ -10,13 +10,14 @@
 //! that support them.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use sprinkler_flash::{Chip, FlashOp, Lpn, ParallelismLevel, PhysicalPageAddr};
-use sprinkler_sim::{Duration, EventQueue, SimTime};
+use sprinkler_sim::{Duration, EventQueue, SimTime, TelemetryCounters};
 
 use crate::channel::Channel;
 use crate::config::SsdConfig;
-use crate::controller::{FlashController, PendingRequest};
+use crate::controller::{FlashController, PendingRequest, TxnScratch};
 use crate::dma::DmaEngine;
 use crate::ftl::Ftl;
 use crate::ledger::CommitmentLedger;
@@ -128,6 +129,13 @@ pub struct Ssd {
     live_txns: HashMap<u64, LiveTransaction>,
     chip_kick_pending: Vec<bool>,
     schedule_pending: bool,
+    /// Reusable commitment buffer for scheduling rounds (`schedule_into`).
+    commit_buf: Vec<Commitment>,
+    /// Reusable scratch + buffer pools for transaction building.
+    txn_scratch: TxnScratch,
+    /// Always-on hot-path counters, shared with the scheduler and frozen into
+    /// the run metrics at finalize.
+    telemetry: Arc<TelemetryCounters>,
 
     gc_jobs: Vec<GcJob>,
     gc_roles: HashMap<MemReqId, GcRole>,
@@ -176,17 +184,37 @@ impl Ssd {
             config.gc.free_block_watermark,
         );
         let metrics = MetricsCollector::new(scheduler.name(), record_series);
+        let telemetry = Arc::clone(metrics.telemetry());
+        scheduler.attach_telemetry(&telemetry);
         let total_chips = geometry.total_chips();
+        // Pre-size the transaction scratch to its structural bounds so the
+        // steady-state hot loop never grows it: a chip's pending set is capped
+        // by the per-chip commitment budget, a transaction folds at most one
+        // request per (die, plane), and at most one transaction per chip is
+        // live at a time.
+        let mut txn_scratch = TxnScratch::new();
+        txn_scratch.preallocate(
+            config.max_committed_per_chip,
+            geometry.dies_per_chip * geometry.planes_per_die,
+            total_chips,
+        );
+        // In-flight memory requests are bounded by the commitment ledger
+        // (every committed page is at most one in-flight memory request), and
+        // at most one transaction per chip is live at a time.
+        let in_flight_bound = total_chips.saturating_mul(config.max_committed_per_chip);
         Ok(Ssd {
             dma: DmaEngine::new(config.dma_bytes_per_sec),
             queue: DeviceQueue::new(config.queue_depth),
             events: EventQueue::new(),
             waiting_host: VecDeque::new(),
-            mem_requests: HashMap::new(),
+            mem_requests: HashMap::with_capacity(in_flight_bound),
             ledger: CommitmentLedger::new(total_chips, config.max_committed_per_chip),
-            live_txns: HashMap::new(),
+            live_txns: HashMap::with_capacity(total_chips),
             chip_kick_pending: vec![false; total_chips],
             schedule_pending: false,
+            commit_buf: Vec::new(),
+            txn_scratch,
+            telemetry,
             gc_jobs: Vec::new(),
             gc_roles: HashMap::new(),
             gc_active_planes: HashSet::new(),
@@ -272,7 +300,9 @@ impl Ssd {
             // of the backlog bound, or the replay could not make progress (in
             // practice a full backlog implies queued tags and therefore pending
             // events).
-            if due && (self.waiting_host.len() < backlog_cap || self.events.is_empty()) {
+            let backlog_has_room = self.waiting_host.len() < backlog_cap || self.events.is_empty();
+            if due && backlog_has_room {
+                TelemetryCounters::incr(&self.telemetry.stream_admissions);
                 let request = next.take().expect("due implies a pulled request");
                 assert!(
                     request.arrival >= last_arrival,
@@ -290,6 +320,11 @@ impl Ssd {
                 let at = request.arrival.max(self.events.now());
                 self.handle_event(at, SsdEvent::Arrival(request));
             } else if let Some((now, event)) = self.events.pop() {
+                if due {
+                    // A request was due but the bounded backlog had no room:
+                    // the loop drains device events instead of ingesting.
+                    TelemetryCounters::incr(&self.telemetry.stream_stalls);
+                }
                 self.handle_event(now, event);
             } else {
                 debug_assert!(next.is_none(), "replay stalled with requests left");
@@ -358,11 +393,14 @@ impl Ssd {
             };
             let tag = TagId(self.next_tag);
             self.next_tag += 1;
-            let placements = (0..request.pages)
-                .map(|i| self.ftl.preview(request.lpn_at(i), request.direction))
-                .collect();
             self.metrics.record_admission(request.arrival, now);
-            let admitted = self.queue.admit(tag, request, now, placements);
+            // `admit_with` fills placements straight from the FTL preview into
+            // the tag's (possibly recycled) placement buffer — no intermediate
+            // Vec per admission.
+            let ftl = &self.ftl;
+            let admitted = self.queue.admit_with(tag, request, now, |page| {
+                ftl.preview(request.lpn_at(page), request.direction)
+            });
             debug_assert!(admitted, "admission into a non-full queue must succeed");
         }
     }
@@ -378,19 +416,25 @@ impl Ssd {
         if self.queue.is_empty() {
             return;
         }
+        TelemetryCounters::incr(&self.telemetry.sched_rounds);
         self.ledger.begin_round();
-        let commitments = {
+        // The commitment buffer is taken out of `self` for the borrow, reused
+        // every round (capacity sticks at the high-water mark).
+        let mut commitments = std::mem::take(&mut self.commit_buf);
+        commitments.clear();
+        {
             let ctx = SchedulerContext {
                 now,
                 geometry: &self.config.geometry,
                 queue: &self.queue,
                 ledger: &self.ledger,
             };
-            self.scheduler.schedule(&ctx)
-        };
-        for Commitment { tag, page } in commitments {
+            self.scheduler.schedule_into(&ctx, &mut commitments);
+        }
+        for &Commitment { tag, page } in &commitments {
             self.commit_memory_request(tag, page, now);
         }
+        self.commit_buf = commitments;
     }
 
     fn commit_memory_request(&mut self, tag_id: TagId, page: u32, now: SimTime) {
@@ -407,6 +451,7 @@ impl Ssd {
         // the headroom available within a single round is the full
         // `max_committed_per_chip`.
         if self.ledger.headroom(chip) == 0 {
+            TelemetryCounters::incr(&self.telemetry.ledger_headroom_exhausted);
             return;
         }
         let host = tag.host;
@@ -521,9 +566,11 @@ impl Ssd {
         let location = self.config.geometry.chip_location(chip_index);
         let channel_index = location.channel as usize;
         let way = location.way as usize;
-        let Some(built) =
-            self.controllers[channel_index].build_transaction(way, &self.config.geometry)
-        else {
+        let Some(built) = self.controllers[channel_index].build_transaction_with(
+            way,
+            &self.config.geometry,
+            &mut self.txn_scratch,
+        ) else {
             return;
         };
         let issue_time = self.config.timing.issue_bus_time(&built.txn);
@@ -555,6 +602,9 @@ impl Ssd {
                 completion_bus: phase.completion_bus,
             },
         );
+        // The transaction's request buffer goes back into the pool for the
+        // next build on this SSD.
+        self.txn_scratch.recycle_requests(built.txn.into_requests());
         self.events
             .schedule(phase.cell_end, SsdEvent::CellDone(txn_id));
     }
@@ -588,7 +638,8 @@ impl Ssd {
             live.cell_time,
         );
         let page_size = self.config.page_size() as u64;
-        for member in live.members {
+        let members = live.members;
+        for &member in &members {
             let Some(request) = self.mem_requests.get(&member) else {
                 continue;
             };
@@ -605,6 +656,7 @@ impl Ssd {
                 self.complete_mem_request(member, now);
             }
         }
+        self.txn_scratch.recycle_members(members);
         let location = self.config.geometry.chip_location(live.chip);
         if self.controllers[location.channel as usize].has_pending(location.way as usize) {
             self.schedule_chip_kick(live.chip, now);
@@ -644,7 +696,10 @@ impl Ssd {
                     host.arrival,
                     completed_at,
                 );
-                self.queue.retire(tag_id);
+                // Recycle the tag's buffers so later admissions reuse them.
+                if let Some(state) = self.queue.retire(tag_id) {
+                    self.queue.recycle(state);
+                }
                 self.try_admit(now);
             }
         }
@@ -988,20 +1043,19 @@ mod tests {
             "headroom-probe"
         }
 
-        fn schedule(
+        fn schedule_into(
             &mut self,
             ctx: &crate::scheduler::SchedulerContext<'_>,
-        ) -> Vec<crate::scheduler::Commitment> {
+            out: &mut Vec<crate::scheduler::Commitment>,
+        ) {
             let outstanding: Vec<usize> =
                 (0..ctx.chip_count()).map(|c| ctx.outstanding(c)).collect();
             self.observed.lock().unwrap().push(outstanding);
-            ctx.tags()
-                .flat_map(|tag| {
-                    tag.uncommitted_pages()
-                        .map(|page| crate::scheduler::Commitment { tag: tag.id, page })
-                        .collect::<Vec<_>>()
-                })
-                .collect()
+            for tag in ctx.tags() {
+                for page in tag.uncommitted_pages() {
+                    out.push(crate::scheduler::Commitment { tag: tag.id, page });
+                }
+            }
         }
     }
 

@@ -11,7 +11,7 @@
 use sprinkler::array::{run_array, ArrayConfig};
 use sprinkler::core::SchedulerKind;
 use sprinkler::experiments::{run_source, CapacityPolicy};
-use sprinkler::ssd::SsdConfig;
+use sprinkler::ssd::{merged_latency_quantile, SsdConfig};
 use sprinkler::workloads::SyntheticSpec;
 
 fn device_config() -> SsdConfig {
@@ -72,6 +72,51 @@ fn one_device_array_is_metric_for_metric_identical_for_all_schedulers() {
         assert_eq!(array.p99_latency_ns, bare.p99_latency_ns, "{kind}");
         assert_eq!(array.max_latency_ns, bare.max_latency_ns, "{kind}");
         assert_eq!(array.queue_stall_ns, bare.queue_stall_ns, "{kind}");
+    }
+}
+
+/// Regression for the silently-dropped latency histogram: flattening an array
+/// replay into a summary `RunMetrics` must carry the elementwise-summed
+/// per-device bucket counts, so feeding the summary back through
+/// `merged_latency_quantile` reproduces the exact p99 the array reported.
+/// Before the fix the summary's `..RunMetrics::default()` zeroed the buckets
+/// and the round-tripped quantile collapsed to 0 for every scheduler.
+#[test]
+fn array_summary_round_trips_its_latency_histogram_for_all_schedulers() {
+    let config = ArrayConfig::new(device_config())
+        .with_stripe_kb(64)
+        .with_devices(4);
+    let trace = workload().generate(150, 0x42);
+    for kind in SchedulerKind::ALL {
+        let array = run_array(&config, kind, &mut trace.source())
+            .expect("the workload fits the 4-device array");
+        assert!(array.p99_latency_ns > 0, "{kind}: no latency samples");
+        let summary = array.summary_run_metrics();
+        assert_eq!(
+            summary.latency_buckets.iter().sum::<u64>(),
+            array.io_count,
+            "{kind}: the summary histogram must hold every device sample"
+        );
+        assert_eq!(
+            merged_latency_quantile([&summary], 0.99),
+            array.p99_latency_ns,
+            "{kind}: summary did not round-trip to the array's p99"
+        );
+        // The always-on telemetry rides along: the summed device counters
+        // appear in the summary, and a real replay schedules at least once.
+        assert!(
+            summary.telemetry.sched_rounds > 0,
+            "{kind}: device telemetry was dropped by the summary"
+        );
+        assert_eq!(
+            summary.telemetry.sched_rounds,
+            array
+                .devices
+                .iter()
+                .map(|d| d.telemetry.sched_rounds)
+                .sum::<u64>(),
+            "{kind}"
+        );
     }
 }
 

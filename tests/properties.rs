@@ -15,7 +15,8 @@ use sprinkler::ssd::request::{Direction, HostRequest, TagId};
 use sprinkler::ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
 use sprinkler::ssd::{RunMetrics, Ssd, SsdConfig};
 use sprinkler::workloads::{
-    Locality, MalformedPolicy, SyntheticSpec, TextTraceSource, TraceSource,
+    Locality, MalformedPolicy, SyntheticSpec, TextTraceSource, Trace, TraceOp, TraceRecord,
+    TraceSource,
 };
 
 fn arb_direction() -> impl Strategy<Value = Direction> {
@@ -78,11 +79,15 @@ impl IoScheduler for RecordingScheduler {
         self.inner.initialize(geometry);
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
-        let out = self.inner.schedule(ctx);
+    fn attach_telemetry(&mut self, telemetry: &Arc<sprinkler::sim::TelemetryCounters>) {
+        self.inner.attach_telemetry(telemetry);
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
+        let start = out.len();
+        self.inner.schedule_into(ctx, out);
         let mut log = self.log.lock().unwrap();
-        log.extend(out.iter().map(|c| (c.tag, c.page)));
-        out
+        log.extend(out[start..].iter().map(|c| (c.tag, c.page)));
     }
 
     fn on_complete(&mut self, tag: TagId, page: u32) {
@@ -129,7 +134,11 @@ impl IoScheduler for CapProbe {
         self.inner.initialize(geometry);
     }
 
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Commitment> {
+    fn attach_telemetry(&mut self, telemetry: &Arc<sprinkler::sim::TelemetryCounters>) {
+        self.inner.attach_telemetry(telemetry);
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         let round_peak = (0..ctx.chip_count())
             .map(|chip| ctx.outstanding(chip))
             .max()
@@ -137,7 +146,7 @@ impl IoScheduler for CapProbe {
         let mut peak = self.peak_outstanding.lock().unwrap();
         *peak = (*peak).max(round_peak);
         drop(peak);
-        self.inner.schedule(ctx)
+        self.inner.schedule_into(ctx, out);
     }
 
     fn on_complete(&mut self, tag: TagId, page: u32) {
@@ -205,6 +214,63 @@ proptest! {
         let metrics = ssd.run(requests);
         prop_assert_eq!(metrics.bytes_read, expected_read);
         prop_assert_eq!(metrics.bytes_written, expected_written);
+    }
+
+    /// The run window and latency histogram are exact for any workload and
+    /// scheduler: the window endpoints reproduce the elapsed time, and the
+    /// shared-bound buckets hold exactly one count per completed I/O (the
+    /// invariant the array summary's dropped-histogram bug violated).
+    #[test]
+    fn window_and_histogram_invariants_hold(
+        requests in arb_requests(30),
+        scheduler_index in 0usize..5,
+    ) {
+        let kind = SchedulerKind::ALL[scheduler_index];
+        let ssd = Ssd::new(SsdConfig::small_test(), kind.build()).unwrap();
+        let m = ssd.run(requests);
+        prop_assert_eq!(m.run_end_ns - m.run_start_ns, m.elapsed_ns);
+        prop_assert_eq!(m.latency_buckets.iter().sum::<u64>(), m.io_count);
+    }
+
+    /// The same invariants survive the array summary flattening: the summary's
+    /// window spans the union elapsed, and its histogram is the elementwise
+    /// sum of every device's buckets — one count per device-level I/O.
+    #[test]
+    fn array_summary_window_and_histogram_invariants_hold(
+        requests in arb_requests(24),
+        scheduler_index in 0usize..5,
+        width in 1usize..5,
+    ) {
+        let kind = SchedulerKind::ALL[scheduler_index];
+        let device = SsdConfig::small_test();
+        let page = device.page_size() as u64;
+        let records: Vec<TraceRecord> = requests
+            .iter()
+            .map(|r| TraceRecord {
+                id: r.id,
+                arrival: r.arrival,
+                op: if r.direction.is_read() { TraceOp::Read } else { TraceOp::Write },
+                offset: r.start_lpn.value() * page,
+                bytes: r.pages as u64 * page,
+            })
+            .collect();
+        let trace = Trace::new("prop-array", records);
+        let config = sprinkler::array::ArrayConfig::new(device)
+            .with_devices(width)
+            .with_stripe_kb(64);
+        // Workloads past the striped footprint are rejected, not summarized.
+        if let Ok(array) = sprinkler::array::run_array(&config, kind, &mut trace.source()) {
+            let summary = array.summary_run_metrics();
+            prop_assert_eq!(summary.run_end_ns - summary.run_start_ns, summary.elapsed_ns);
+            prop_assert_eq!(
+                summary.latency_buckets.iter().sum::<u64>(),
+                array.io_count
+            );
+            prop_assert_eq!(
+                sprinkler::ssd::merged_latency_quantile([&summary], 0.99),
+                array.p99_latency_ns
+            );
+        }
     }
 
     /// Metric fractions stay within their mathematical bounds.
