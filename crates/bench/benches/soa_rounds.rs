@@ -1,0 +1,162 @@
+//! Old-shape vs columnar round cost (the data-oriented-core figure).
+//!
+//! One group, `soa_rounds`, timing a single SPK3 scheduling round over the
+//! standing 32-deep scene at 64, 256 and 1024 chips, twice:
+//!
+//! * `old_shape_*` — a faithful in-bench replica of the pre-columnar round
+//!   loop: per-chip candidate iterators, a per-candidate `TagState` chase
+//!   through the slot table for direction/placement/LPN, per-candidate hazard
+//!   queries through the scheduler context, and a wide-tuple chip sort;
+//! * `columnar_*` — the shipped `SprinklerScheduler::spk3()` round, which
+//!   streams the queue's seq/pri/lpn/slot columns and the ledger's outstanding
+//!   column as plain slices and sorts packed `u64` chip keys.
+//!
+//! Both variants drain the same immutable scene, so the ratio isolates the
+//! struct-of-arrays layout change itself.  The columnar per-round mean at
+//! 1024 chips is the `rounds_per_sec` figure recorded in `BENCH_scaling.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sprinkler_core::faro::{FaroCandidate, FaroConfig, FaroScratch, FaroSelector};
+use sprinkler_core::hazard::HazardFilter;
+use sprinkler_core::{RiosTraversal, SprinklerScheduler};
+use sprinkler_experiments::micro::standing_scene;
+use sprinkler_flash::FlashGeometry;
+use sprinkler_sim::SimTime;
+use sprinkler_ssd::request::TagId;
+use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
+
+/// The pre-columnar (array-of-structs) SPK3 round, reconstructed over the
+/// queue's compatibility surface (`candidate_chips` / `chip_candidates` /
+/// `state_at`): every candidate dereferences its full `TagState` to learn
+/// direction, logical page and placement, every write re-queries the queue's
+/// read index through the context, and round chips sort as wide tuples.
+struct OldShapeRound {
+    faro: FaroSelector,
+    hazards: HazardFilter,
+    traversal: RiosTraversal,
+    chip_scratch: Vec<(usize, usize, usize, usize)>,
+    cand_scratch: Vec<FaroCandidate>,
+    faro_scratch: FaroScratch,
+    faro_picks: Vec<(TagId, u32)>,
+}
+
+impl OldShapeRound {
+    fn new(geometry: &FlashGeometry) -> Self {
+        OldShapeRound {
+            faro: FaroSelector::new(FaroConfig::default()),
+            hazards: HazardFilter::new(),
+            traversal: RiosTraversal::new(geometry),
+            chip_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            faro_scratch: FaroScratch::default(),
+            faro_picks: Vec::new(),
+        }
+    }
+
+    fn round(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
+        let capacity = self
+            .faro
+            .overcommit_depth()
+            .min(ctx.max_committed_per_chip());
+        let bound = self.hazards.horizon_seq(ctx);
+        let chip_count = ctx.chip_count();
+        self.chip_scratch.clear();
+        self.cand_scratch.clear();
+        for chip in ctx.queue.candidate_chips() {
+            if chip >= chip_count {
+                continue;
+            }
+            let Some(rank) = self.traversal.position(chip) else {
+                continue;
+            };
+            if ctx.outstanding(chip) >= capacity {
+                continue;
+            }
+            let start = self.cand_scratch.len();
+            for (seq, page, tag, slot) in ctx.queue.chip_candidates(chip) {
+                if seq > bound {
+                    break;
+                }
+                let Some(state) = ctx.queue.state_at(slot) else {
+                    continue;
+                };
+                if state.host.direction.is_write()
+                    && self.hazards.write_after_read_blocked_seq(
+                        ctx,
+                        seq,
+                        state.host.lpn_at(page).value(),
+                    )
+                {
+                    continue;
+                }
+                let placement = state.placements[page as usize];
+                self.cand_scratch.push(FaroCandidate {
+                    tag,
+                    page,
+                    die: placement.die,
+                    plane: placement.plane,
+                    arrival_rank: seq as usize,
+                });
+            }
+            let end = self.cand_scratch.len();
+            if end > start {
+                self.chip_scratch.push((rank, chip, start, end));
+            }
+        }
+        self.chip_scratch.sort_unstable();
+        for &(_, chip, start, end) in &self.chip_scratch {
+            let candidates = &self.cand_scratch[start..end];
+            let room = capacity - ctx.outstanding(chip);
+            self.faro_picks.clear();
+            self.faro.select_into(
+                candidates,
+                room,
+                &mut self.faro_picks,
+                &mut self.faro_scratch,
+            );
+            out.extend(
+                self.faro_picks
+                    .iter()
+                    .map(|&(tag, page)| Commitment { tag, page }),
+            );
+        }
+    }
+}
+
+fn bench_soa_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soa_rounds");
+    group.sample_size(10);
+    for chips in [64usize, 256, 1024] {
+        let (geometry, queue, ledger) = standing_scene(chips);
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            geometry: &geometry,
+            queue: &queue,
+            ledger: &ledger,
+        };
+        let mut buf = Vec::new();
+
+        let mut old = OldShapeRound::new(&geometry);
+        group.bench_function(&format!("old_shape_{chips}chips"), |b| {
+            b.iter(|| {
+                buf.clear();
+                old.round(black_box(&ctx), &mut buf);
+                black_box(buf.len())
+            })
+        });
+
+        let mut columnar = SprinklerScheduler::spk3();
+        columnar.initialize(&geometry);
+        group.bench_function(&format!("columnar_{chips}chips"), |b| {
+            b.iter(|| {
+                buf.clear();
+                columnar.schedule_into(black_box(&ctx), &mut buf);
+                black_box(buf.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_soa_rounds);
+criterion_main!(benches);

@@ -82,6 +82,20 @@ impl HazardFilter {
     ) -> bool {
         ctx.queue.has_blocking_read(lpn, writer_seq)
     }
+
+    /// The write-after-read check over a raw hazard slice
+    /// ([`sprinkler_ssd::queue::DeviceQueue::read_hazards`]): sorted
+    /// `(lpn, seq)` pairs of uncommitted reads.  Hot loops hoist the slice out
+    /// of the context once per round and call this per candidate, keeping the
+    /// check a binary search over one dense array with no queue dereference.
+    #[inline]
+    pub fn blocked_by_read(reads: &[(u64, u64)], lpn: u64, writer_seq: u64) -> bool {
+        // The first entry for `lpn` holds the earliest reading seq.
+        let pos = reads.partition_point(|&(l, _)| l < lpn);
+        reads
+            .get(pos)
+            .is_some_and(|&(l, earliest)| l == lpn && earliest < writer_seq)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +182,24 @@ mod tests {
         with_ctx(&queue, |ctx| {
             assert!(!filter.write_after_read_blocked(ctx, TagId(1), 102));
         });
+    }
+
+    #[test]
+    fn slice_form_matches_the_context_form() {
+        let mut queue = DeviceQueue::new(8);
+        admit(&mut queue, 0, Direction::Read, 100, 4, false);
+        admit(&mut queue, 1, Direction::Write, 102, 1, false);
+        let writer_seq = queue.seq_of(TagId(1)).unwrap();
+        let filter = HazardFilter::new();
+        for lpn in 98..106 {
+            let via_slice = HazardFilter::blocked_by_read(queue.read_hazards(), lpn, writer_seq);
+            let via_ctx = with_ctx(&queue, |ctx| {
+                filter.write_after_read_blocked_seq(ctx, writer_seq, lpn)
+            });
+            assert_eq!(via_slice, via_ctx, "lpn {lpn}");
+        }
+        // Reads at or after the writer's own seq never block it.
+        assert!(!HazardFilter::blocked_by_read(queue.read_hazards(), 102, 0));
     }
 
     #[test]

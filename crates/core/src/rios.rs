@@ -57,6 +57,13 @@ impl RiosTraversal {
         self.position.get(chip).copied()
     }
 
+    /// The whole inverse permutation as a slice (`positions()[chip]` is the
+    /// visit rank of `chip`), for hot loops that look up many chips per round
+    /// without the per-call `Option`.
+    pub fn positions(&self) -> &[usize] {
+        &self.position
+    }
+
     /// Number of chips covered.
     pub fn len(&self) -> usize {
         self.order.len()

@@ -21,12 +21,29 @@ use std::sync::Arc;
 use sprinkler_flash::FlashGeometry;
 use sprinkler_sim::TelemetryCounters;
 use sprinkler_ssd::ftl::PageMigration;
+use sprinkler_ssd::queue::{read_filter_bucket, SLOT_WRITE};
 use sprinkler_ssd::request::TagId;
 use sprinkler_ssd::scheduler::{Commitment, IoScheduler, SchedulerContext};
+use sprinkler_ssd::{pri_die, pri_page, pri_plane, CandidateView};
 
 use crate::faro::{FaroCandidate, FaroConfig, FaroScratch, FaroSelector};
 use crate::hazard::HazardFilter;
 use crate::rios::RiosTraversal;
+
+/// Builds one FARO candidate from a candidate-index row: tag id from the slot
+/// column, page/die/plane unpacked from the priority key, arrival rank from
+/// the admission sequence.
+#[inline]
+fn candidate_at(cands: &CandidateView<'_>, slot_tags: &[u64], row: usize) -> FaroCandidate {
+    let pri = cands.pri[row];
+    FaroCandidate {
+        tag: TagId(slot_tags[cands.slot[row] as usize]),
+        page: pri_page(pri),
+        die: pri_die(pri),
+        plane: pri_plane(pri),
+        arrival_rank: cands.seq[row] as usize,
+    }
+}
 
 /// The Sprinkler device-level scheduler (SPK1 / SPK2 / SPK3).
 ///
@@ -44,12 +61,17 @@ pub struct SprinklerScheduler {
     hazards: HazardFilter,
     traversal: Option<RiosTraversal>,
     readdress_events: u64,
-    /// Scratch: one entry per chip with schedulable work this round —
-    /// (traversal rank, chip, start, end) where `start..end` indexes the flat
-    /// candidate buffer below.
-    chip_scratch: Vec<(usize, usize, usize, usize)>,
-    /// Scratch: this round's FARO candidates for all chips, flat, grouped by
-    /// the ranges recorded in `chip_scratch`.
+    /// Scratch: rank-indexed occupancy bitmap — bit `r` is set when the chip
+    /// with traversal rank `r` has schedulable work this round.  Scanning the
+    /// words with `trailing_zeros` visits the round's chips in traversal order
+    /// without sorting anything.
+    round_bits: Vec<u64>,
+    /// Scratch: rank → chip back-map for the bits set this round (entries are
+    /// only read under a set bit, so the array is never cleared).
+    round_chip: Vec<u32>,
+    /// Scratch: one chip's surviving FARO candidates, materialized only when a
+    /// chip has more than one (single-survivor chips commit straight from the
+    /// columns).
     cand_scratch: Vec<FaroCandidate>,
     /// Scratch: per-chip commits made this round by the in-order path.  Only the
     /// chips listed in `newly_dirty` are non-zero between rounds.
@@ -91,7 +113,8 @@ impl SprinklerScheduler {
             hazards: HazardFilter::new(),
             traversal: None,
             readdress_events: 0,
-            chip_scratch: Vec::new(),
+            round_bits: Vec::new(),
+            round_chip: Vec::new(),
             cand_scratch: Vec::new(),
             newly: Vec::new(),
             newly_dirty: Vec::new(),
@@ -179,113 +202,182 @@ impl SprinklerScheduler {
     }
 
     /// RIOS path (SPK2/SPK3): visit the chips that have uncommitted candidate
-    /// pages — straight from the device queue's per-chip index — in traversal
-    /// order, committing up to the per-chip capacity; FARO decides which
-    /// candidates win when there are more than fit.
+    /// pages — straight from the device queue's columnar per-chip index — in
+    /// traversal order, committing up to the per-chip capacity; FARO decides
+    /// which candidates win when there are more than fit.
+    ///
+    /// The round is data-oriented end to end: both passes stream the queue's
+    /// seq/pri/lpn/slot columns and the ledger's outstanding column as plain
+    /// slices (no per-candidate `TagState` chase — page, die and plane are
+    /// unpacked from the priority key, direction and tag id come from two
+    /// byte/word slot columns).  Pass 1 marks each chip with headroom in a
+    /// rank-indexed bitmap; pass 2 scans the bitmap words with
+    /// `trailing_zeros` — visiting chips in traversal order without a sort —
+    /// and filters each chip's rows (FUA horizon, §4.4 write-after-read) on
+    /// the spot.  The dominant many-chip shape, one surviving candidate per
+    /// chip, commits straight from the columns without building a
+    /// [`FaroCandidate`] at all.
     fn schedule_resource_driven(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         let capacity = self.per_chip_capacity().min(ctx.max_committed_per_chip());
         let bound = self.hazards.horizon_seq(ctx);
         let chip_count = ctx.chip_count();
+        let cands = ctx.queue.candidate_view();
+        let reads = ctx.queue.read_hazards();
+        let read_filter = ctx.queue.read_hazard_filter();
+        let slot_flags = ctx.queue.slot_flag_bits();
+        let slot_tags = ctx.queue.slot_tags();
+        let outstanding = ctx.ledger.outstanding_slice();
 
-        // Pass 1 — one ordered walk of the per-chip candidate index: filter
-        // each chip's candidates (horizon, room, §4.4 write-after-read) into a
-        // flat scratch buffer, remembering each chip's range and traversal rank.
-        self.chip_scratch.clear();
-        self.cand_scratch.clear();
-        for (chip, entries) in ctx.queue.candidate_groups() {
+        // Pass 1 — one walk of the active-chip list: mark every chip that has
+        // commit headroom this round in the rank-indexed bitmap.  Ranks are a
+        // permutation of the chips, so each bit maps back to exactly one chip.
+        let positions = self.traversal.as_ref().map(RiosTraversal::positions);
+        let rank_space = positions.map_or(chip_count, <[usize]>::len);
+        let words = rank_space.div_ceil(64);
+        if self.round_bits.len() < words {
+            self.round_bits.resize(words, 0);
+        }
+        self.round_bits[..words].fill(0);
+        if self.round_chip.len() < rank_space {
+            self.round_chip.resize(rank_space, 0);
+        }
+        for &chip_index in cands.active {
+            let chip = chip_index as usize;
             if chip >= chip_count {
                 continue;
             }
-            let rank = match &self.traversal {
-                Some(t) => match t.position(chip) {
-                    Some(rank) => rank,
+            let rank = match positions {
+                Some(pos) => match pos.get(chip) {
+                    Some(&rank) => rank,
                     None => continue,
                 },
                 None => chip,
             };
-            if capacity.saturating_sub(ctx.outstanding(chip)) == 0 {
+            if outstanding[chip] as usize >= capacity {
                 continue;
             }
-            let start = self.cand_scratch.len();
-            let mut clipped = false;
-            for &(seq, page, tag_raw, slot) in entries {
-                if seq > bound {
-                    // Candidates are ordered by admission seq: everything past
-                    // the FUA horizon is off limits.
-                    clipped = true;
-                    break;
-                }
-                let Some(tag) = ctx.queue.state_at(slot) else {
-                    continue;
-                };
-                debug_assert_eq!(tag.id.0, tag_raw, "stale slot handle in chip index");
-                if tag.host.direction.is_write()
-                    && self.hazards.write_after_read_blocked_seq(
-                        ctx,
-                        seq,
-                        tag.host.lpn_at(page).value(),
-                    )
-                {
-                    // §4.4: defer only the hazard-blocked page.
-                    if let Some(telemetry) = &self.telemetry {
-                        TelemetryCounters::incr(&telemetry.hazard_war_deferrals);
-                    }
-                    continue;
-                }
-                let placement = tag.placements[page as usize];
-                self.cand_scratch.push(FaroCandidate {
-                    tag: tag.id,
-                    page,
-                    die: placement.die,
-                    plane: placement.plane,
-                    arrival_rank: seq as usize,
-                });
-                if !self.use_faro {
-                    // No over-commitment: the candidates arrive in
-                    // (admission seq, page) order, so the first non-blocked one
-                    // is the oldest — nothing further can win on this chip.
-                    break;
-                }
-            }
-            let end = self.cand_scratch.len();
-            if clipped {
-                if let Some(telemetry) = &self.telemetry {
-                    TelemetryCounters::incr(&telemetry.hazard_horizon_clips);
-                }
-            }
-            if end > start {
-                self.chip_scratch.push((rank, chip, start, end));
-            }
+            self.round_bits[rank >> 6] |= 1u64 << (rank & 63);
+            self.round_chip[rank] = chip as u32;
         }
 
-        // Pass 2 — visit the chips in traversal order and commit.
-        self.chip_scratch.sort_unstable();
-        for &(_, chip, start, end) in &self.chip_scratch {
-            let candidates = &self.cand_scratch[start..end];
-            if self.use_faro {
-                let room = capacity.saturating_sub(ctx.outstanding(chip));
-                self.faro_picks.clear();
-                let fast = self.faro.select_into(
-                    candidates,
-                    room,
-                    &mut self.faro_picks,
-                    &mut self.faro_scratch,
-                );
-                if fast {
-                    if let Some(telemetry) = &self.telemetry {
-                        TelemetryCounters::incr(&telemetry.faro_fast_path_rounds);
+        // Pass 2 — visit the marked ranks ascending and commit.
+        for word_index in 0..words {
+            let mut word = self.round_bits[word_index];
+            while word != 0 {
+                let rank = (word_index << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let chip = self.round_chip[rank] as usize;
+                let range = cands.range(chip);
+
+                // Straight-line path for the dominant many-chip shape: one
+                // candidate row on the chip — filter it and commit straight
+                // from the columns, no loop state, no FARO materialization.
+                if range.len() == 1 {
+                    let row = range.start;
+                    let seq = cands.seq[row];
+                    if seq > bound {
+                        self.count(|t| &t.hazard_horizon_clips);
+                        continue;
+                    }
+                    let slot = cands.slot[row] as usize;
+                    if slot_flags[slot] & SLOT_WRITE != 0 {
+                        let lpn = cands.lpn[row];
+                        if read_filter[read_filter_bucket(lpn)] != 0
+                            && HazardFilter::blocked_by_read(reads, lpn, seq)
+                        {
+                            self.count(|t| &t.hazard_war_deferrals);
+                            continue;
+                        }
+                    }
+                    if self.use_faro {
+                        self.count(|t| &t.faro_fast_path_rounds);
+                    }
+                    out.push(Commitment {
+                        tag: TagId(slot_tags[slot]),
+                        page: pri_page(cands.pri[row]),
+                    });
+                    continue;
+                }
+
+                // Filter the chip's rows; materialize FARO candidates lazily —
+                // only once a second survivor proves the chip needs ranking.
+                self.cand_scratch.clear();
+                let mut first_row = usize::MAX;
+                let mut survivors = 0usize;
+                for row in range {
+                    let seq = cands.seq[row];
+                    if seq > bound {
+                        // Rows are ordered by admission seq: everything past
+                        // the FUA horizon is off limits.
+                        self.count(|t| &t.hazard_horizon_clips);
+                        break;
+                    }
+                    let slot = cands.slot[row] as usize;
+                    if slot_flags[slot] & SLOT_WRITE != 0 {
+                        let lpn = cands.lpn[row];
+                        // The counting filter rules out the (dominant)
+                        // unblocked writes without a binary search.
+                        if read_filter[read_filter_bucket(lpn)] != 0
+                            && HazardFilter::blocked_by_read(reads, lpn, seq)
+                        {
+                            // §4.4: defer only the hazard-blocked page.
+                            self.count(|t| &t.hazard_war_deferrals);
+                            continue;
+                        }
+                    }
+                    survivors += 1;
+                    if survivors == 1 {
+                        first_row = row;
+                        if !self.use_faro {
+                            // No over-commitment: the rows arrive in
+                            // (admission seq, page) order, so the first
+                            // non-blocked one is the oldest — nothing further
+                            // can win on this chip.
+                            break;
+                        }
+                        continue;
+                    }
+                    if survivors == 2 {
+                        self.cand_scratch
+                            .push(candidate_at(&cands, slot_tags, first_row));
+                    }
+                    self.cand_scratch.push(candidate_at(&cands, slot_tags, row));
+                }
+
+                match survivors {
+                    0 => {}
+                    1 => {
+                        // A single candidate trivially satisfies FARO's
+                        // fast-path condition (one tag, vacuous ordering) —
+                        // commit it straight from the columns.
+                        if self.use_faro {
+                            self.count(|t| &t.faro_fast_path_rounds);
+                        }
+                        let slot = cands.slot[first_row] as usize;
+                        out.push(Commitment {
+                            tag: TagId(slot_tags[slot]),
+                            page: pri_page(cands.pri[first_row]),
+                        });
+                    }
+                    _ => {
+                        let room = capacity - outstanding[chip] as usize;
+                        self.faro_picks.clear();
+                        let fast = self.faro.select_into(
+                            &self.cand_scratch,
+                            room,
+                            &mut self.faro_picks,
+                            &mut self.faro_scratch,
+                        );
+                        if fast {
+                            self.count(|t| &t.faro_fast_path_rounds);
+                        }
+                        out.extend(
+                            self.faro_picks
+                                .iter()
+                                .map(|&(tag, page)| Commitment { tag, page }),
+                        );
                     }
                 }
-                out.extend(
-                    self.faro_picks
-                        .iter()
-                        .map(|&(tag, page)| Commitment { tag, page }),
-                );
-            } else {
-                out.push(Commitment {
-                    tag: candidates[0].tag,
-                    page: candidates[0].page,
-                });
             }
         }
     }

@@ -42,6 +42,10 @@ pub struct ScalingPoint {
     pub utilization: f64,
     /// I/Os per second.
     pub iops: f64,
+    /// Scheduling rounds the run took — a deterministic telemetry total, so
+    /// baseline checks can gate the scheduler core's decision stream, not just
+    /// its bandwidth outcome.
+    pub sched_rounds: u64,
 }
 
 /// The full scaling sweep.
@@ -74,6 +78,7 @@ pub fn run_point(
         bandwidth_kb_per_sec: metrics.bandwidth_kb_per_sec,
         utilization: metrics.chip_utilization,
         iops: metrics.iops,
+        sched_rounds: metrics.telemetry.sched_rounds,
     }
 }
 
@@ -203,6 +208,8 @@ mod tests {
             series[1] >= series[0] * 0.9,
             "SPK3 bandwidth must scale with chips: {series:?}"
         );
+        // Every point carries the deterministic round total for baseline gates.
+        assert!(result.points.iter().all(|p| p.sched_rounds > 0));
         let panel = result.panel(32);
         assert_eq!(panel.row_count(), 2);
         assert!(panel.render().contains("SPK3/VAS"));

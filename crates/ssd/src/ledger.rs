@@ -7,6 +7,12 @@
 //! [`SchedulerContext`](crate::scheduler::SchedulerContext); nothing else in the
 //! simulator touches the counters.
 //!
+//! The counters are stored struct-of-arrays — one dense `u32` slice of
+//! outstanding counts indexed by flat chip index ([`CommitmentLedger::
+//! outstanding_slice`]) plus a parallel busy-flag vector — so scheduler round
+//! loops read chip headroom straight out of a contiguous array instead of
+//! striding over per-chip record structs.
+//!
 //! # Invariants
 //!
 //! The ledger keeps two counters per chip and they are *never* conflated:
@@ -64,7 +70,10 @@ pub struct ChipOccupancy {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitmentLedger {
     max_committed_per_chip: usize,
-    chips: Vec<ChipOccupancy>,
+    /// Outstanding committed-but-incomplete requests per chip (dense column).
+    outstanding: Vec<u32>,
+    /// Busy flag per chip (parallel column).
+    busy: Vec<bool>,
     /// Per-round commit counts; only the chips listed in `round_dirty` hold
     /// non-zero entries between rounds.
     round_committed: Vec<usize>,
@@ -78,13 +87,8 @@ impl CommitmentLedger {
         debug_assert!(max_committed_per_chip > 0, "the cap must be non-zero");
         CommitmentLedger {
             max_committed_per_chip,
-            chips: (0..total_chips)
-                .map(|chip| ChipOccupancy {
-                    chip,
-                    busy: false,
-                    outstanding: 0,
-                })
-                .collect(),
+            outstanding: vec![0; total_chips],
+            busy: vec![false; total_chips],
             round_committed: vec![0; total_chips],
             round_dirty: Vec::new(),
         }
@@ -105,7 +109,7 @@ impl CommitmentLedger {
                 count <= max_committed_per_chip,
                 "chip {chip}: outstanding {count} exceeds the cap {max_committed_per_chip}"
             );
-            ledger.chips[chip].outstanding = count;
+            ledger.outstanding[chip] = count as u32;
         }
         ledger
     }
@@ -117,22 +121,32 @@ impl CommitmentLedger {
 
     /// Number of chips tracked.
     pub fn chip_count(&self) -> usize {
-        self.chips.len()
+        self.outstanding.len()
     }
 
-    /// The per-chip occupancy view, indexed by flat chip index.
-    pub fn occupancy(&self) -> &[ChipOccupancy] {
-        &self.chips
+    /// The dense per-chip outstanding column, indexed by flat chip index — the
+    /// slice scheduler round loops iterate directly.
+    pub fn outstanding_slice(&self) -> &[u32] {
+        &self.outstanding
+    }
+
+    /// One chip's occupancy as a record (0/idle for out-of-range indices).
+    pub fn chip_occupancy(&self, chip: usize) -> ChipOccupancy {
+        ChipOccupancy {
+            chip,
+            busy: self.is_busy(chip),
+            outstanding: self.outstanding(chip),
+        }
     }
 
     /// Outstanding committed requests for a chip (0 for out-of-range indices).
     pub fn outstanding(&self, chip: usize) -> usize {
-        self.chips.get(chip).map_or(0, |c| c.outstanding)
+        self.outstanding.get(chip).map_or(0, |&c| c as usize)
     }
 
     /// Whether a chip is currently executing a transaction.
     pub fn is_busy(&self, chip: usize) -> bool {
-        self.chips.get(chip).is_some_and(|c| c.busy)
+        self.busy.get(chip).copied().unwrap_or(false)
     }
 
     /// Remaining commit capacity for a chip: the full cap minus `outstanding`.
@@ -169,7 +183,7 @@ impl CommitmentLedger {
             self.round_dirty.push(chip);
         }
         self.round_committed[chip] += 1;
-        self.chips[chip].outstanding += 1;
+        self.outstanding[chip] += 1;
         self.audit(chip);
     }
 
@@ -182,16 +196,16 @@ impl CommitmentLedger {
             self.outstanding(chip) > 0,
             "chip {chip}: retire without a matching commitment (outstanding underflow)"
         );
-        if let Some(entry) = self.chips.get_mut(chip) {
-            entry.outstanding = entry.outstanding.saturating_sub(1);
+        if let Some(entry) = self.outstanding.get_mut(chip) {
+            *entry = entry.saturating_sub(1);
         }
         self.audit(chip);
     }
 
     /// Records whether a chip is executing a transaction.
     pub fn set_busy(&mut self, chip: usize, busy: bool) {
-        if let Some(entry) = self.chips.get_mut(chip) {
-            entry.busy = busy;
+        if let Some(entry) = self.busy.get_mut(chip) {
+            *entry = busy;
         }
     }
 
@@ -202,11 +216,10 @@ impl CommitmentLedger {
     fn audit(&self, chip: usize) {
         #[cfg(debug_assertions)]
         {
-            let entry = &self.chips[chip];
             assert!(
-                entry.outstanding <= self.max_committed_per_chip,
+                (self.outstanding[chip] as usize) <= self.max_committed_per_chip,
                 "chip {chip}: outstanding {} exceeds the cap {}",
-                entry.outstanding,
+                self.outstanding[chip],
                 self.max_committed_per_chip
             );
             assert!(
@@ -315,7 +328,8 @@ mod tests {
         assert_eq!(ledger.outstanding(1), 2);
         assert_eq!(ledger.headroom(1), 2);
         assert_eq!(ledger.headroom(2), 0);
-        assert_eq!(ledger.occupancy()[2].chip, 2);
+        assert_eq!(ledger.chip_occupancy(2).chip, 2);
+        assert_eq!(ledger.outstanding_slice(), &[0, 2, 4]);
         assert_eq!(ledger.max_committed_per_chip(), 4);
     }
 

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cand;
 pub mod channel;
 pub mod config;
 pub mod controller;
@@ -52,6 +53,7 @@ pub mod request;
 pub mod scheduler;
 pub mod ssd;
 
+pub use cand::{pack_pri, pri_die, pri_page, pri_plane, CandidateView};
 pub use config::{AllocationPolicy, GcConfig, SsdConfig};
 pub use error::SsdError;
 pub use ledger::{ChipOccupancy, CommitmentLedger};

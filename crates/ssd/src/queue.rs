@@ -13,12 +13,20 @@
 //! [`DeviceQueue::retire`] is O(1).  Total storage is O(queue depth), independent of
 //! how many I/Os have ever been served.
 //!
+//! The slot index is the queue's *dense handle*: tag-id lookups resolve to a
+//! `u32` slot through a direct-mapped ring ([`TagMap`], no hashing — tags are
+//! issued densely), and per-slot hot fields (admission seq, raw tag id,
+//! direction flag) are mirrored into parallel *slot columns* so the scheduler
+//! hot path reads small contiguous arrays instead of chasing `Option<TagState>`.
+//!
 //! On top of the slots the queue maintains three incremental indices that turn the
 //! scheduler hot path from full-queue scans into point lookups:
 //!
-//! * a **per-chip candidate index** — for every flash chip, the uncommitted pages
-//!   targeting it, ordered by arrival (admission sequence number, then page), so
-//!   resource-driven schedulers visit only chips that actually have work;
+//! * a **columnar per-chip candidate index** ([`crate::cand::CandidateIndex`]) —
+//!   for every flash chip, the uncommitted pages targeting it as rows of four
+//!   parallel columns (seq/priority/lpn/slot) in a contiguous CSR-style extent,
+//!   ordered by arrival, so resource-driven schedulers iterate plain slices and
+//!   visit only chips that actually have work;
 //! * a **read-LPN hazard index** — for every logical page with an uncommitted read,
 //!   the admission sequence numbers of the reading tags, so the §4.4
 //!   write-after-read check is an O(log n) lookup instead of a full-queue scan;
@@ -26,8 +34,8 @@
 //!   force-unit-access tags that are not yet fully committed, so the reordering
 //!   horizon is an O(1) lookup.
 //!
-//! All three indices are sorted vectors, not B-trees: at steady state their
-//! capacity is retained across churn, so index maintenance performs no
+//! The hazard and FUA indices are sorted vectors, not B-trees: at steady state
+//! their capacity is retained across churn, so index maintenance performs no
 //! allocations once the high-water mark is reached (a B-tree frees and
 //! re-allocates nodes as sets empty and refill, which defeats the
 //! zero-allocation replay gate).  Entry counts are bounded by the queued work,
@@ -37,15 +45,165 @@
 //! queue ([`DeviceQueue::commit_page`], [`DeviceQueue::complete_page`],
 //! [`DeviceQueue::refresh_placements`]); queued tags are only handed out immutably.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use sprinkler_sim::SimTime;
 
+use crate::cand::{pack_pri, pri_page, CandidateIndex, CandidateView};
 use crate::request::{HostRequest, Placement, TagId};
 
 /// Sentinel for "no slot" in the intrusive arrival-order list.
 const NIL: usize = usize::MAX;
+
+/// Sentinel slot value marking an empty [`TagMap`] ring cell.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Bit set in the slot flag column for write tags.
+pub const SLOT_WRITE: u8 = 1;
+
+/// Buckets in the read-LPN counting filter (see
+/// [`DeviceQueue::read_hazard_filter`]).  Must stay a power of two: the
+/// bucket hash takes the top `log2(READ_FILTER_BUCKETS)` bits.
+pub const READ_FILTER_BUCKETS: usize = 512;
+
+/// The counting-filter bucket of a logical page number.  Fibonacci hashing
+/// spreads the sequential LPN ranges real workloads produce across the whole
+/// bucket space before the top bits are taken.
+#[inline]
+pub fn read_filter_bucket(lpn: u64) -> usize {
+    const _: () = assert!(READ_FILTER_BUCKETS == 1 << 9);
+    (lpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - 9)) as usize
+}
+
+/// A fixed-size page bitmap packed into `u64` words.
+///
+/// Replaces the per-tag `Vec<bool>` commitment/completion bitmaps: pages per
+/// tag are bounded by the transfer size, so a handful of words covers even the
+/// 4 MB configuration, and [`PageBits::zeros`] turns the "which pages are
+/// uncommitted" scan into a bit-scan over one or two cache lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+static BIT_TRUE: bool = true;
+static BIT_FALSE: bool = false;
+
+impl PageBits {
+    /// Creates an all-zero bitmap of `pages` bits.
+    pub fn new(pages: usize) -> Self {
+        PageBits {
+            words: vec![0; pages.div_ceil(64)],
+            len: pages,
+        }
+    }
+
+    /// Resets the bitmap to `pages` all-zero bits, retaining word capacity.
+    pub fn reset(&mut self, pages: usize) {
+        self.words.clear();
+        self.words.resize(pages.div_ceil(64), 0);
+        self.len = pages;
+    }
+
+    /// Number of bits tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap tracks no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `index` is set.  Out-of-range bits read as unset.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|word| word >> (index % 64) & 1 != 0)
+    }
+
+    /// Sets bit `index`; returns `false` if it was already set.
+    #[inline]
+    pub fn set(&mut self, index: usize) -> bool {
+        debug_assert!(index < self.len, "page {index} out of range");
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        true
+    }
+
+    /// The complement of word `w`, with bits past `len` masked off.
+    #[inline]
+    fn zeros_in_word(&self, w: usize) -> u64 {
+        match self.words.get(w) {
+            Some(&word) => {
+                let remaining = self.len - w * 64;
+                if remaining >= 64 {
+                    !word
+                } else {
+                    !word & ((1u64 << remaining) - 1)
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// Iterates the positions of unset bits, ascending — a `trailing_zeros`
+    /// bit-scan, allocation-free.
+    pub fn zeros(&self) -> ZeroBits<'_> {
+        ZeroBits {
+            bits: self,
+            word: 0,
+            mask: self.zeros_in_word(0),
+        }
+    }
+}
+
+/// `PageBits` indexes like the `Vec<bool>` it replaced, so the reference
+/// schedulers (`sprinkler_core::reference`) read `state.committed[page]`
+/// unchanged and stay a textually untouched differential oracle.
+impl std::ops::Index<usize> for PageBits {
+    type Output = bool;
+
+    #[inline]
+    fn index(&self, index: usize) -> &bool {
+        if self.get(index) {
+            &BIT_TRUE
+        } else {
+            &BIT_FALSE
+        }
+    }
+}
+
+/// Iterator over the unset bit positions of a [`PageBits`].
+#[derive(Debug, Clone)]
+pub struct ZeroBits<'a> {
+    bits: &'a PageBits,
+    word: usize,
+    mask: u64,
+}
+
+impl Iterator for ZeroBits<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.mask == 0 {
+            self.word += 1;
+            if self.word >= self.bits.words.len() {
+                return None;
+            }
+            self.mask = self.bits.zeros_in_word(self.word);
+        }
+        let bit = self.mask.trailing_zeros();
+        self.mask &= self.mask - 1;
+        Some(self.word as u32 * 64 + bit)
+    }
+}
 
 /// Per-tag state while the I/O request sits in the device queue.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,14 +221,14 @@ pub struct TagState {
     /// Physical placement preview per page (filled by the FTL preprocessor).
     pub placements: Vec<Placement>,
     /// Whether each page has been committed as a memory request.
-    pub committed: Vec<bool>,
+    pub committed: PageBits,
     /// Whether each page's memory request has fully completed.  This is the
     /// per-queue-entry completion bitmap described in §4.4 ("The Order of Output
     /// Data").
-    pub completed: Vec<bool>,
-    /// Number of `true` bits in `committed` (kept so fullness checks are O(1)).
+    pub completed: PageBits,
+    /// Number of set bits in `committed` (kept so fullness checks are O(1)).
     committed_count: usize,
-    /// Number of `true` bits in `completed` (kept so fullness checks are O(1)).
+    /// Number of set bits in `completed` (kept so fullness checks are O(1)).
     completed_count: usize,
     /// When the first memory request of this tag was committed.
     pub first_commit_at: Option<SimTime>,
@@ -93,8 +251,8 @@ impl TagState {
             host,
             admitted_at,
             placements,
-            committed: vec![false; pages],
-            completed: vec![false; pages],
+            committed: PageBits::new(pages),
+            completed: PageBits::new(pages),
             committed_count: 0,
             completed_count: 0,
             first_commit_at: None,
@@ -106,13 +264,9 @@ impl TagState {
         self.host.pages as usize
     }
 
-    /// Page offsets not yet committed.
+    /// Page offsets not yet committed, ascending (a bitmap bit-scan).
     pub fn uncommitted_pages(&self) -> impl Iterator<Item = u32> + '_ {
-        self.committed
-            .iter()
-            .enumerate()
-            .filter(|(_, &done)| !done)
-            .map(|(i, _)| i as u32)
+        self.committed.zeros()
     }
 
     /// Number of pages not yet committed.
@@ -132,24 +286,20 @@ impl TagState {
 
     /// Marks a page committed.  Returns `false` if it was already committed.
     pub fn mark_committed(&mut self, page: u32, now: SimTime) -> bool {
-        let slot = &mut self.committed[page as usize];
-        if *slot {
+        if !self.committed.set(page as usize) {
             return false;
         }
-        *slot = true;
         self.committed_count += 1;
         self.first_commit_at.get_or_insert(now);
         true
     }
 
-    /// Marks a page's memory request completed (clears its bitmap bit).  Returns
+    /// Marks a page's memory request completed (sets its bitmap bit).  Returns
     /// `false` if it was already completed.
     pub fn mark_completed(&mut self, page: u32) -> bool {
-        let slot = &mut self.completed[page as usize];
-        if *slot {
+        if !self.completed.set(page as usize) {
             return false;
         }
-        *slot = true;
         self.completed_count += 1;
         true
     }
@@ -163,6 +313,80 @@ struct Slot {
     prev: usize,
     /// Next slot in arrival order (`NIL` at the tail).
     next: usize,
+}
+
+/// Direct-mapped tag-id → slot lookup.
+///
+/// The SSD issues tag ids densely (a monotonically increasing counter), so a
+/// power-of-two ring indexed by `tag & mask` resolves nearly every lookup with
+/// one load and one compare — no hashing on admit, commit, or retire.  Two
+/// live tags can still collide modulo the ring size (one tag outliving many
+/// churn cycles, or tests using arbitrary ids); colliders spill into a small
+/// linear-scanned overflow list bounded by the queue depth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TagMap {
+    mask: u64,
+    /// `(raw tag id, slot)` cells; `slot == NO_SLOT` marks an empty cell.
+    ring: Vec<(u64, u32)>,
+    /// Colliding entries, linearly scanned (rare: requires two live tags with
+    /// equal residues).
+    overflow: Vec<(u64, u32)>,
+}
+
+impl TagMap {
+    fn new(capacity: usize) -> Self {
+        let size = capacity.max(1).next_power_of_two();
+        TagMap {
+            mask: size as u64 - 1,
+            ring: vec![(0, NO_SLOT); size],
+            overflow: Vec::with_capacity(capacity.min(size)),
+        }
+    }
+
+    #[inline]
+    fn get(&self, tag: u64) -> Option<u32> {
+        let cell = self.ring[(tag & self.mask) as usize];
+        if cell.1 != NO_SLOT && cell.0 == tag {
+            return Some(cell.1);
+        }
+        self.overflow
+            .iter()
+            .find(|entry| entry.0 == tag)
+            .map(|entry| entry.1)
+    }
+
+    fn insert(&mut self, tag: u64, slot: u32) {
+        debug_assert!(slot != NO_SLOT);
+        debug_assert!(self.get(tag).is_none(), "tag {tag} is already mapped");
+        let cell = &mut self.ring[(tag & self.mask) as usize];
+        if cell.1 == NO_SLOT {
+            *cell = (tag, slot);
+        } else {
+            self.overflow.push((tag, slot));
+        }
+    }
+
+    fn remove(&mut self, tag: u64) -> Option<u32> {
+        let index = (tag & self.mask) as usize;
+        let cell = self.ring[index];
+        if cell.1 != NO_SLOT && cell.0 == tag {
+            // Promote a colliding overflow entry into the freed cell so dense
+            // workloads keep their one-load fast path.
+            let promoted = self
+                .overflow
+                .iter()
+                .position(|entry| entry.0 & self.mask == tag & self.mask);
+            self.ring[index] = match promoted {
+                Some(pos) => self.overflow.swap_remove(pos),
+                None => (0, NO_SLOT),
+            };
+            return Some(cell.1);
+        }
+        if let Some(pos) = self.overflow.iter().position(|entry| entry.0 == tag) {
+            return Some(self.overflow.swap_remove(pos).1);
+        }
+        None
+    }
 }
 
 /// The bounded device-level queue.
@@ -188,8 +412,15 @@ pub struct DeviceQueue {
     slots: Vec<Slot>,
     /// Recycled slot indices.
     free: Vec<usize>,
-    /// Tag id → slot index.
-    slot_of: HashMap<TagId, usize>,
+    /// Tag id → slot handle (direct-mapped ring, no hashing).
+    tag_map: TagMap,
+    /// Slot column: admission seq per occupied slot (generation guard for
+    /// handle-based access).
+    slot_seq: Vec<u64>,
+    /// Slot column: raw tag id per occupied slot.
+    slot_tag: Vec<u64>,
+    /// Slot column: per-slot flags ([`SLOT_WRITE`]).
+    slot_flags: Vec<u8>,
     /// First slot in arrival order (`NIL` when empty).
     head: usize,
     /// Last slot in arrival order (`NIL` when empty).
@@ -199,18 +430,16 @@ pub struct DeviceQueue {
     next_seq: u64,
     /// Total uncommitted pages across all queued tags.
     uncommitted_total: usize,
-    /// Per-chip candidate entries `(admission seq, page, raw tag id, slot
-    /// handle)` of every uncommitted page targeting that chip, each inner
-    /// vector sorted ascending.  The slot handle lets consumers reach the tag
-    /// state without a hash lookup per candidate.  Emptied inner vectors are
-    /// retained (capacity and all) so steady-state churn never allocates; the
-    /// outer vector grows to the highest chip index seen.
-    chip_entries: Vec<Vec<(u64, u32, u64, usize)>>,
-    /// Sorted chip indices whose `chip_entries` vector is non-empty.
-    active_chips: Vec<usize>,
+    /// Columnar per-chip candidate index of every uncommitted page.
+    cand: CandidateIndex,
     /// Sorted `(lpn, seq)` pairs: read tags whose page at that LPN is
     /// uncommitted.
     read_lpn_index: Vec<(u64, u64)>,
+    /// Counting filter over `read_lpn_index`: per-bucket entry counts keyed by
+    /// [`read_filter_bucket`].  A zero bucket proves no uncommitted read of
+    /// any LPN hashing there exists, so the §4.4 write-after-read check skips
+    /// its binary search for the (dominant) unblocked case.
+    read_lpn_filter: Vec<u32>,
     /// Sorted admission seqs of queued FUA tags not yet fully committed.
     fua_pending: Vec<u64>,
     /// Recycled [`TagState`] storage: retired tags returned via
@@ -225,15 +454,18 @@ impl DeviceQueue {
             capacity,
             slots: Vec::with_capacity(capacity),
             free: Vec::with_capacity(capacity),
-            slot_of: HashMap::with_capacity(capacity),
+            tag_map: TagMap::new(capacity),
+            slot_seq: Vec::with_capacity(capacity),
+            slot_tag: Vec::with_capacity(capacity),
+            slot_flags: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
             len: 0,
             next_seq: 0,
             uncommitted_total: 0,
-            chip_entries: Vec::new(),
-            active_chips: Vec::new(),
+            cand: CandidateIndex::new(),
             read_lpn_index: Vec::new(),
+            read_lpn_filter: vec![0; READ_FILTER_BUCKETS],
             fua_pending: Vec::with_capacity(capacity),
             spare_states: Vec::with_capacity(capacity),
         }
@@ -243,44 +475,17 @@ impl DeviceQueue {
     // Sorted-vector index maintenance (allocation-free at steady state)
     // ------------------------------------------------------------------
 
-    fn chip_insert(&mut self, chip: usize, key: (u64, u32, u64, usize)) {
-        if chip >= self.chip_entries.len() {
-            self.chip_entries.resize_with(chip + 1, Vec::new);
-        }
-        let entries = &mut self.chip_entries[chip];
-        if entries.is_empty() {
-            let pos = self.active_chips.partition_point(|&c| c < chip);
-            self.active_chips.insert(pos, chip);
-        }
-        match entries.binary_search(&key) {
-            // Admission seqs are unique per page, so duplicates cannot occur.
-            Ok(_) => debug_assert!(false, "duplicate chip-index entry"),
-            Err(pos) => entries.insert(pos, key),
-        }
-    }
-
-    fn chip_remove(&mut self, chip: usize, key: &(u64, u32, u64, usize)) {
-        if let Some(entries) = self.chip_entries.get_mut(chip) {
-            if let Ok(pos) = entries.binary_search(key) {
-                entries.remove(pos);
-                if entries.is_empty() {
-                    if let Ok(active) = self.active_chips.binary_search(&chip) {
-                        self.active_chips.remove(active);
-                    }
-                }
-            }
-        }
-    }
-
     fn read_lpn_insert(&mut self, lpn: u64, seq: u64) {
         if let Err(pos) = self.read_lpn_index.binary_search(&(lpn, seq)) {
             self.read_lpn_index.insert(pos, (lpn, seq));
+            self.read_lpn_filter[read_filter_bucket(lpn)] += 1;
         }
     }
 
     fn read_lpn_remove(&mut self, lpn: u64, seq: u64) {
         if let Ok(pos) = self.read_lpn_index.binary_search(&(lpn, seq)) {
             self.read_lpn_index.remove(pos);
+            self.read_lpn_filter[read_filter_bucket(lpn)] -= 1;
         }
     }
 
@@ -349,15 +554,13 @@ impl DeviceQueue {
             return false;
         }
         debug_assert!(
-            !self.slot_of.contains_key(&id),
+            self.tag_map.get(id.0).is_none(),
             "tag {id} is already queued"
         );
         let pages = host.pages as usize;
         let mut state = match self.spare_states.pop() {
             Some(mut spare) => {
                 spare.placements.clear();
-                spare.committed.clear();
-                spare.completed.clear();
                 spare.id = id;
                 spare.host = host;
                 spare.admitted_at = now;
@@ -369,8 +572,8 @@ impl DeviceQueue {
                 host,
                 admitted_at: now,
                 placements: Vec::new(),
-                committed: Vec::new(),
-                completed: Vec::new(),
+                committed: PageBits::default(),
+                completed: PageBits::default(),
                 committed_count: 0,
                 completed_count: 0,
                 first_commit_at: None,
@@ -378,9 +581,9 @@ impl DeviceQueue {
         };
         state
             .placements
-            .extend((0..host.pages).map(&mut placement_of));
-        state.committed.resize(pages, false);
-        state.completed.resize(pages, false);
+            .extend((0..state.host.pages).map(&mut placement_of));
+        state.committed.reset(pages);
+        state.completed.reset(pages);
         state.committed_count = 0;
         state.completed_count = 0;
         state.first_commit_at = None;
@@ -389,7 +592,7 @@ impl DeviceQueue {
         let seq = state.seq;
 
         // Reserve the storage slot first: the index entries carry it as a
-        // direct handle so hot-path consumers skip the tag-id hash lookup.
+        // dense handle so hot-path consumers skip the tag-id lookup entirely.
         let slot = match self.free.pop() {
             Some(slot) => slot,
             None => {
@@ -398,19 +601,36 @@ impl DeviceQueue {
                     prev: NIL,
                     next: NIL,
                 });
+                self.slot_seq.push(0);
+                self.slot_tag.push(0);
+                self.slot_flags.push(0);
                 self.slots.len() - 1
             }
         };
+        self.slot_seq[slot] = seq;
+        self.slot_tag[slot] = id.0;
+        self.slot_flags[slot] = if state.host.direction.is_write() {
+            SLOT_WRITE
+        } else {
+            0
+        };
 
-        let is_read = host.direction.is_read();
+        let is_read = state.host.direction.is_read();
         for page in 0..pages {
-            let chip = state.placements[page].chip;
-            self.chip_insert(chip, (seq, page as u32, id.0, slot));
+            let p = state.placements[page];
+            let lpn = state.host.lpn_at(page as u32).value();
+            self.cand.insert(
+                p.chip,
+                seq,
+                pack_pri(page as u32, p.die, p.plane),
+                lpn,
+                slot as u32,
+            );
             if is_read {
-                self.read_lpn_insert(host.lpn_at(page as u32).value(), seq);
+                self.read_lpn_insert(lpn, seq);
             }
         }
-        if host.fua {
+        if state.host.fua {
             // Admission seqs are monotonic, so this is a push in practice.
             let pos = self.fua_pending.partition_point(|&s| s < seq);
             self.fua_pending.insert(pos, seq);
@@ -426,7 +646,7 @@ impl DeviceQueue {
             self.slots[self.tail].next = slot;
         }
         self.tail = slot;
-        self.slot_of.insert(id, slot);
+        self.tag_map.insert(id.0, slot as u32);
         self.len += 1;
         true
     }
@@ -435,7 +655,19 @@ impl DeviceQueue {
     /// O(1) in the queue length (plus index removal for any still-uncommitted
     /// pages).
     pub fn retire(&mut self, id: TagId) -> Option<TagState> {
-        let slot = self.slot_of.remove(&id)?;
+        let slot = self.tag_map.remove(id.0)?;
+        self.retire_slot(slot as usize)
+    }
+
+    /// [`DeviceQueue::retire`] through a dense slot handle, skipping the tag-id
+    /// lookup.
+    pub fn retire_at(&mut self, slot: u32) -> Option<TagState> {
+        let id = self.slots.get(slot as usize)?.state.as_ref()?.id;
+        self.tag_map.remove(id.0)?;
+        self.retire_slot(slot as usize)
+    }
+
+    fn retire_slot(&mut self, slot: usize) -> Option<TagState> {
         let state = self.slots[slot].state.take()?;
         // Unlink from the arrival-order list.
         let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
@@ -452,11 +684,14 @@ impl DeviceQueue {
         self.free.push(slot);
         self.len -= 1;
         // Drop any remaining index entries for uncommitted pages.
-        for page in 0..state.pages() {
-            if !state.committed[page] {
-                self.unindex_page(&state, page as u32, slot);
-                self.uncommitted_total -= 1;
+        for page in state.uncommitted_pages() {
+            let p = state.placements[page as usize];
+            self.cand
+                .remove(p.chip, state.seq, pack_pri(page, p.die, p.plane));
+            if state.host.direction.is_read() {
+                self.read_lpn_remove(state.host.lpn_at(page).value(), state.seq);
             }
+            self.uncommitted_total -= 1;
         }
         if let Ok(pos) = self.fua_pending.binary_search(&state.seq) {
             self.fua_pending.remove(pos);
@@ -478,17 +713,26 @@ impl DeviceQueue {
     /// coherent.  Returns `false` when the tag is not queued, the page offset is
     /// out of range, or the page was already committed.
     pub fn commit_page(&mut self, id: TagId, page: u32, now: SimTime) -> bool {
-        let Some(&slot) = self.slot_of.get(&id) else {
+        match self.tag_map.get(id.0) {
+            Some(slot) => self.commit_page_at(slot, page, now),
+            None => false,
+        }
+    }
+
+    /// [`DeviceQueue::commit_page`] through a dense slot handle, skipping the
+    /// tag-id lookup.
+    pub fn commit_page_at(&mut self, slot: u32, page: u32, now: SimTime) -> bool {
+        let Some(entry) = self.slots.get_mut(slot as usize) else {
             return false;
         };
-        let Some(state) = self.slots[slot].state.as_mut() else {
+        let Some(state) = entry.state.as_mut() else {
             return false;
         };
         if page as usize >= state.pages() || !state.mark_committed(page, now) {
             return false;
         }
         let seq = state.seq;
-        let chip = state.placements[page as usize].chip;
+        let p = state.placements[page as usize];
         let read_lpn = state
             .host
             .direction
@@ -496,7 +740,8 @@ impl DeviceQueue {
             .then(|| state.host.lpn_at(page).value());
         let fua_done = state.host.fua && state.fully_committed();
         self.uncommitted_total -= 1;
-        self.chip_remove(chip, &(seq, page, id.0, slot));
+        self.cand
+            .remove(p.chip, seq, pack_pri(page, p.die, p.plane));
         if let Some(lpn) = read_lpn {
             self.read_lpn_remove(lpn, seq);
         }
@@ -511,7 +756,19 @@ impl DeviceQueue {
     /// Marks a page's memory request completed.  Returns `false` when the tag is
     /// not queued or the page was already completed.
     pub fn complete_page(&mut self, id: TagId, page: u32) -> bool {
-        match self.state_mut(id) {
+        match self.tag_map.get(id.0) {
+            Some(slot) => self.complete_page_at(slot, page),
+            None => false,
+        }
+    }
+
+    /// [`DeviceQueue::complete_page`] through a dense slot handle.
+    pub fn complete_page_at(&mut self, slot: u32, page: u32) -> bool {
+        match self
+            .slots
+            .get_mut(slot as usize)
+            .and_then(|s| s.state.as_mut())
+        {
             Some(state) if (page as usize) < state.pages() => state.mark_completed(page),
             _ => false,
         }
@@ -523,7 +780,9 @@ impl DeviceQueue {
         let mut cursor = self.head;
         while cursor != NIL {
             let next;
-            let mut moved: Option<((u64, u32, u64, usize), usize)> = None;
+            // (seq, old placement, page) of a rewritten page whose index row
+            // must move to a new (chip, die, plane) key.
+            let mut moved: Option<(u64, Placement, u32)> = None;
             {
                 let slot = &mut self.slots[cursor];
                 next = slot.next;
@@ -532,38 +791,36 @@ impl DeviceQueue {
                     let end = start + state.host.pages as u64;
                     if (start..end).contains(&lpn) {
                         let page = (lpn - start) as usize;
-                        if !state.committed[page] {
-                            let old_chip = state.placements[page].chip;
-                            let key = (state.seq, page as u32, state.id.0, cursor);
+                        if !state.committed.get(page) {
+                            let old = state.placements[page];
                             state.placements[page] = preview;
-                            if old_chip != preview.chip {
-                                moved = Some((key, old_chip));
+                            if (old.chip, old.die, old.plane)
+                                != (preview.chip, preview.die, preview.plane)
+                            {
+                                moved = Some((state.seq, old, page as u32));
                             }
                         }
                     }
                 }
             }
-            if let Some((key, old_chip)) = moved {
-                self.chip_remove(old_chip, &key);
-                self.chip_insert(preview.chip, key);
+            if let Some((seq, old, page)) = moved {
+                self.cand
+                    .remove(old.chip, seq, pack_pri(page, old.die, old.plane));
+                self.cand.insert(
+                    preview.chip,
+                    seq,
+                    pack_pri(page, preview.die, preview.plane),
+                    lpn,
+                    cursor as u32,
+                );
             }
             cursor = next;
         }
     }
 
-    /// Removes a page's entries from the chip and read-LPN indices.
-    fn unindex_page(&mut self, state: &TagState, page: u32, slot: usize) {
-        let chip = state.placements[page as usize].chip;
-        self.chip_remove(chip, &(state.seq, page, state.id.0, slot));
-        if state.host.direction.is_read() {
-            let lpn = state.host.lpn_at(page).value();
-            self.read_lpn_remove(lpn, state.seq);
-        }
-    }
-
-    fn state_mut(&mut self, id: TagId) -> Option<&mut TagState> {
-        let &slot = self.slot_of.get(&id)?;
-        self.slots[slot].state.as_mut()
+    /// Resolves a tag id to its dense slot handle.
+    pub fn slot_of(&self, id: TagId) -> Option<u32> {
+        self.tag_map.get(id.0)
     }
 
     /// Queued tag identifiers in arrival order.
@@ -588,8 +845,8 @@ impl DeviceQueue {
 
     /// Looks up a tag's state.
     pub fn tag(&self, id: TagId) -> Option<&TagState> {
-        let &slot = self.slot_of.get(&id)?;
-        self.slots[slot].state.as_ref()
+        let slot = self.tag_map.get(id.0)?;
+        self.slots[slot as usize].state.as_ref()
     }
 
     /// A queued tag's admission sequence number.
@@ -616,6 +873,10 @@ impl DeviceQueue {
     /// Whether a read tag admitted strictly before `seq` still has an uncommitted
     /// read of logical page `lpn` (the §4.4 write-after-read hazard).  O(log n).
     pub fn has_blocking_read(&self, lpn: u64, seq: u64) -> bool {
+        if self.read_lpn_filter[read_filter_bucket(lpn)] == 0 {
+            // No uncommitted read hashes to this bucket: provably unblocked.
+            return false;
+        }
         // Entries are sorted by (lpn, seq); the first entry for `lpn` holds
         // the earliest reading seq.
         let pos = self.read_lpn_index.partition_point(|&(l, _)| l < lpn);
@@ -624,11 +885,47 @@ impl DeviceQueue {
             .is_some_and(|&(l, earliest)| l == lpn && earliest < seq)
     }
 
+    /// The raw read-LPN hazard entries, sorted by `(lpn, seq)` — the dense
+    /// slice behind [`DeviceQueue::has_blocking_read`], exposed so hot loops
+    /// can hoist the queue dereference out of their per-candidate checks.
+    pub fn read_hazards(&self) -> &[(u64, u64)] {
+        &self.read_lpn_index
+    }
+
+    /// The counting filter over [`DeviceQueue::read_hazards`]: per-bucket
+    /// entry counts keyed by [`read_filter_bucket`].  A zero bucket proves no
+    /// uncommitted read of any LPN hashing there exists, so hot loops skip
+    /// the hazard binary search entirely for such writes.
+    pub fn read_hazard_filter(&self) -> &[u32] {
+        &self.read_lpn_filter
+    }
+
+    /// The columnar candidate view for one scheduling round: active chips,
+    /// CSR-style per-chip row ranges, and the seq/pri/lpn/slot columns.
+    pub fn candidate_view(&self) -> CandidateView<'_> {
+        self.cand.view()
+    }
+
+    /// Slot column: admission sequence per slot handle.
+    pub fn slot_seqs(&self) -> &[u64] {
+        &self.slot_seq
+    }
+
+    /// Slot column: raw tag id per slot handle.
+    pub fn slot_tags(&self) -> &[u64] {
+        &self.slot_tag
+    }
+
+    /// Slot column: flag bits ([`SLOT_WRITE`]) per slot handle.
+    pub fn slot_flag_bits(&self) -> &[u8] {
+        &self.slot_flags
+    }
+
     /// Chips with at least one uncommitted candidate page, in ascending chip
     /// order.  Iterating this instead of every chip keeps resource-driven
     /// scheduling rounds proportional to queued work, not to the chip population.
     pub fn candidate_chips(&self) -> impl Iterator<Item = usize> + '_ {
-        self.active_chips.iter().copied()
+        self.cand.active_chips().iter().map(|&chip| chip as usize)
     }
 
     /// The uncommitted candidate pages targeting one chip, in arrival order
@@ -638,30 +935,22 @@ impl DeviceQueue {
         &self,
         chip: usize,
     ) -> impl Iterator<Item = (u64, u32, TagId, usize)> + '_ {
-        self.chip_entries
-            .get(chip)
-            .into_iter()
-            .flatten()
-            .map(|&(seq, page, tag, slot)| (seq, page, TagId(tag), slot))
+        let view = self.cand.view();
+        self.cand.chip_range(chip).map(move |row| {
+            let slot = view.slot[row] as usize;
+            (
+                view.seq[row],
+                pri_page(view.pri[row]),
+                TagId(self.slot_tag[slot]),
+                slot,
+            )
+        })
     }
 
-    /// Resolves a slot handle from [`DeviceQueue::chip_candidates`] to the tag
-    /// state it indexes, without a hash lookup.
+    /// Resolves a slot handle from the candidate index to the tag state it
+    /// indexes, without a tag-id lookup.
     pub fn state_at(&self, slot: usize) -> Option<&TagState> {
         self.slots.get(slot)?.state.as_ref()
-    }
-
-    /// One ordered walk over the whole per-chip candidate index: yields every
-    /// chip with queued work (ascending chip order) together with its raw
-    /// entries `(admission seq, page, raw tag id, slot handle)` in arrival
-    /// order.  A single walk is cheaper than one [`DeviceQueue::chip_candidates`]
-    /// lookup per chip when a round visits many chips.
-    pub fn candidate_groups(
-        &self,
-    ) -> impl Iterator<Item = (usize, std::slice::Iter<'_, (u64, u32, u64, usize)>)> + '_ {
-        self.active_chips
-            .iter()
-            .map(move |&chip| (chip, self.chip_entries[chip].iter()))
     }
 
     // ------------------------------------------------------------------
@@ -674,11 +963,88 @@ impl DeviceQueue {
         self.slots.len()
     }
 
-    /// Total entries across the chip, read-LPN, and FUA indices.  Bounded by the
-    /// number of queued uncommitted pages.
+    /// Total live entries across the chip, read-LPN, and FUA indices.  Bounded
+    /// by the number of queued uncommitted pages.
     pub fn index_entries(&self) -> usize {
-        let chip: usize = self.chip_entries.iter().map(Vec::len).sum();
-        chip + self.read_lpn_index.len() + self.fua_pending.len()
+        self.cand.len() + self.read_lpn_index.len() + self.fua_pending.len()
+    }
+
+    /// Debug-build invariant checker: cross-validates the incremental columnar
+    /// candidate index (and the slot columns) against a from-scratch rebuild
+    /// from the queued tag states.  Compiled to a no-op in release builds; the
+    /// differential property tests call it after every scheduling round.
+    pub fn validate_candidate_index(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut expected: Vec<(usize, u64, u32, u64, u32)> = Vec::new();
+            let mut expected_uncommitted = 0usize;
+            for (slot, entry) in self.slots.iter().enumerate() {
+                let Some(state) = entry.state.as_ref() else {
+                    continue;
+                };
+                debug_assert_eq!(self.slot_seq[slot], state.seq, "stale slot seq column");
+                debug_assert_eq!(self.slot_tag[slot], state.id.0, "stale slot tag column");
+                debug_assert_eq!(
+                    self.slot_flags[slot] & SLOT_WRITE != 0,
+                    state.host.direction.is_write(),
+                    "stale slot flag column"
+                );
+                debug_assert_eq!(self.tag_map.get(state.id.0), Some(slot as u32));
+                for page in state.uncommitted_pages() {
+                    let p = state.placements[page as usize];
+                    expected.push((
+                        p.chip,
+                        state.seq,
+                        pack_pri(page, p.die, p.plane),
+                        state.host.lpn_at(page).value(),
+                        slot as u32,
+                    ));
+                    expected_uncommitted += 1;
+                }
+            }
+            expected.sort_unstable();
+            debug_assert_eq!(expected_uncommitted, self.uncommitted_total);
+            debug_assert_eq!(expected.len(), self.cand.len());
+
+            let view = self.cand.view();
+            let mut actual: Vec<(usize, u64, u32, u64, u32)> = Vec::new();
+            let mut previous_chip = None;
+            for &chip in view.active {
+                debug_assert!(previous_chip < Some(chip), "active chips not sorted");
+                previous_chip = Some(chip);
+                let range = view.range(chip as usize);
+                debug_assert!(!range.is_empty(), "active chip without rows");
+                let mut previous_row = None;
+                for row in range {
+                    let key = (view.seq[row], view.pri[row]);
+                    debug_assert!(previous_row < Some(key), "chip rows not sorted");
+                    previous_row = Some(key);
+                    actual.push((
+                        chip as usize,
+                        view.seq[row],
+                        view.pri[row],
+                        view.lpn[row],
+                        view.slot[row],
+                    ));
+                }
+            }
+            actual.sort_unstable();
+            debug_assert_eq!(
+                expected, actual,
+                "columnar candidate index diverged from a from-scratch rebuild"
+            );
+
+            // The read-LPN counting filter must agree with the hazard index it
+            // summarizes, bucket for bucket.
+            let mut expected_filter = vec![0u32; READ_FILTER_BUCKETS];
+            for &(lpn, _) in &self.read_lpn_index {
+                expected_filter[read_filter_bucket(lpn)] += 1;
+            }
+            debug_assert_eq!(
+                expected_filter, self.read_lpn_filter,
+                "read-LPN counting filter diverged from the hazard index"
+            );
+        }
     }
 }
 
@@ -726,11 +1092,13 @@ mod tests {
             q.tags_in_order().collect::<Vec<_>>(),
             vec![TagId(0), TagId(1)]
         );
+        q.validate_candidate_index();
         let retired = q.retire(TagId(0)).unwrap();
         assert_eq!(retired.host.id, 0);
         assert_eq!(q.len(), 1);
         assert!(q.tag(TagId(0)).is_none());
         assert!(q.retire(TagId(0)).is_none());
+        q.validate_candidate_index();
     }
 
     #[test]
@@ -787,6 +1155,30 @@ mod tests {
     }
 
     #[test]
+    fn page_bitmaps_index_like_vectors_and_scan_zeros() {
+        let mut bits = PageBits::new(130);
+        assert_eq!(bits.len(), 130);
+        assert!(bits.set(0));
+        assert!(bits.set(64));
+        assert!(bits.set(129));
+        assert!(!bits.set(64), "double set is rejected");
+        assert!(bits[0] && bits[64] && bits[129]);
+        assert!(!bits[1] && !bits[128]);
+        let zeros: Vec<u32> = bits.zeros().collect();
+        assert_eq!(zeros.len(), 127);
+        assert_eq!(zeros[0], 1);
+        assert_eq!(zeros[62], 63);
+        assert_eq!(zeros[63], 65);
+        assert_eq!(*zeros.last().unwrap(), 128);
+        // The tail bits past `len` are never reported as zeros.
+        let empty = PageBits::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.zeros().count(), 0);
+        let one = PageBits::new(65);
+        assert_eq!(one.zeros().count(), 65);
+    }
+
+    #[test]
     fn total_uncommitted_pages_sums_tags() {
         let mut q = DeviceQueue::new(4);
         assert!(q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2)));
@@ -825,6 +1217,27 @@ mod tests {
     }
 
     #[test]
+    fn tag_map_ring_handles_colliding_ids() {
+        let mut q = DeviceQueue::new(4);
+        // Ids 1 and 5 collide modulo the ring size (4): both must stay live.
+        assert!(q.admit(TagId(1), host(1, 1), SimTime::ZERO, placements(1)));
+        assert!(q.admit(TagId(5), host(5, 1), SimTime::ZERO, placements(1)));
+        assert!(q.admit(TagId(9), host(9, 1), SimTime::ZERO, placements(1)));
+        assert_eq!(q.tag(TagId(1)).unwrap().host.id, 1);
+        assert_eq!(q.tag(TagId(5)).unwrap().host.id, 5);
+        assert_eq!(q.tag(TagId(9)).unwrap().host.id, 9);
+        // Removing the ring occupant promotes a collider; both survive lookup.
+        q.retire(TagId(1)).unwrap();
+        assert!(q.tag(TagId(1)).is_none());
+        assert_eq!(q.tag(TagId(5)).unwrap().host.id, 5);
+        assert_eq!(q.tag(TagId(9)).unwrap().host.id, 9);
+        q.retire(TagId(9)).unwrap();
+        assert_eq!(q.tag(TagId(5)).unwrap().host.id, 5);
+        assert_eq!(q.slot_of(TagId(5)), q.slot_of(TagId(5)));
+        q.validate_candidate_index();
+    }
+
+    #[test]
     fn chip_index_tracks_uncommitted_pages() {
         let mut q = DeviceQueue::new(4);
         assert!(q.admit(TagId(0), host(0, 2), SimTime::ZERO, placements(2)));
@@ -857,6 +1270,18 @@ mod tests {
         q.refresh_placements(500, moved);
         assert_eq!(q.candidate_chips().collect::<Vec<_>>(), vec![3]);
         assert_eq!(q.tag(TagId(0)).unwrap().placements[0], moved);
+        q.validate_candidate_index();
+        // A same-chip die/plane move rewrites the row's priority key too.
+        let rotated = Placement {
+            chip: 3,
+            channel: 1,
+            way: 1,
+            die: 1,
+            plane: 0,
+        };
+        q.refresh_placements(500, rotated);
+        assert_eq!(q.tag(TagId(0)).unwrap().placements[0], rotated);
+        q.validate_candidate_index();
         // Committed pages are not rewritten.
         assert!(q.commit_page(TagId(0), 0, SimTime::ZERO));
         let back = Placement {
@@ -867,7 +1292,7 @@ mod tests {
             plane: 0,
         };
         q.refresh_placements(500, back);
-        assert_eq!(q.tag(TagId(0)).unwrap().placements[0], moved);
+        assert_eq!(q.tag(TagId(0)).unwrap().placements[0], rotated);
     }
 
     #[test]
@@ -955,6 +1380,7 @@ mod tests {
         assert_eq!(q.total_uncommitted_pages(), 0);
         assert_eq!(q.index_entries(), 0);
         assert!(q.allocated_slots() <= DEPTH);
+        q.validate_candidate_index();
     }
 
     #[test]

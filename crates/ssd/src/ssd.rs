@@ -439,7 +439,12 @@ impl Ssd {
 
     fn commit_memory_request(&mut self, tag_id: TagId, page: u32, now: SimTime) {
         let page_size = self.config.page_size() as u64;
-        let Some(tag) = self.queue.tag(tag_id) else {
+        // One tag-id lookup resolves the dense slot handle; everything below
+        // (state access, commitment, retirement) goes through the handle.
+        let Some(slot) = self.queue.slot_of(tag_id) else {
+            return;
+        };
+        let Some(tag) = self.queue.state_at(slot as usize) else {
             return;
         };
         if page as usize >= tag.pages() {
@@ -456,7 +461,7 @@ impl Ssd {
         }
         let host = tag.host;
         let placement = tag.placements[page as usize];
-        if !self.queue.commit_page(tag_id, page, now) {
+        if !self.queue.commit_page_at(slot, page, now) {
             return;
         }
         self.ledger.commit(chip);
@@ -677,14 +682,17 @@ impl Ssd {
             self.ledger.retire(request.placement.chip);
         }
         if let Some(tag_id) = request.tag {
+            let slot = self.queue.slot_of(tag_id);
             let mut finished: Option<(HostRequest, SimTime)> = None;
-            if self.queue.complete_page(tag_id, request.page_index) {
-                let tag = self
-                    .queue
-                    .tag(tag_id)
-                    .expect("completed page belongs to a queued tag");
-                if tag.fully_committed() && tag.fully_completed() {
-                    finished = Some((tag.host, now));
+            if let Some(slot) = slot {
+                if self.queue.complete_page_at(slot, request.page_index) {
+                    let tag = self
+                        .queue
+                        .state_at(slot as usize)
+                        .expect("completed page belongs to a queued tag");
+                    if tag.fully_committed() && tag.fully_completed() {
+                        finished = Some((tag.host, now));
+                    }
                 }
             }
             self.scheduler.on_complete(tag_id, request.page_index);
@@ -697,7 +705,7 @@ impl Ssd {
                     completed_at,
                 );
                 // Recycle the tag's buffers so later admissions reuse them.
-                if let Some(state) = self.queue.retire(tag_id) {
+                if let Some(state) = slot.and_then(|slot| self.queue.retire_at(slot)) {
                     self.queue.recycle(state);
                 }
                 self.try_admit(now);

@@ -84,6 +84,11 @@ impl IoScheduler for RecordingScheduler {
     }
 
     fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
+        // Debug-build invariant check, exercised on *every* scheduling round of
+        // every property-test replay: the queue's incrementally maintained
+        // columnar (CSR) candidate index must match a from-scratch rebuild from
+        // the tag states.  Compiles to a no-op in release builds.
+        ctx.queue.validate_candidate_index();
         let start = out.len();
         self.inner.schedule_into(ctx, out);
         let mut log = self.log.lock().unwrap();
@@ -330,6 +335,14 @@ proptest! {
     /// `max_committed_per_chip` (the seed double-counted same-round commits),
     /// so the expected streams differ from the seed's — but fast and reference
     /// must still agree commitment by commitment.
+    ///
+    /// With the data-oriented core, "optimized" now means the fully columnar
+    /// round path: CSR candidate extents with packed (page, die, plane)
+    /// priority keys, dense slot-handle columns, the bitmask page states, and
+    /// the slice-based ledger/hazard reads.  The reference twin still walks
+    /// the queue naively (`sprinkler_core::reference` is untouched), and the
+    /// `RecordingScheduler` wrapper additionally cross-validates the columnar
+    /// index against a from-scratch rebuild on every round of both replays.
     #[test]
     fn refactored_schedulers_match_their_reference_twins(
         requests in arb_requests(40),
@@ -352,6 +365,8 @@ proptest! {
         prop_assert_eq!(fast_metrics.bytes_written, ref_metrics.bytes_written);
         prop_assert_eq!(fast_metrics.transactions, ref_metrics.transactions);
         prop_assert_eq!(fast_metrics.avg_latency_ns, ref_metrics.avg_latency_ns);
+        prop_assert_eq!(fast_metrics.p99_latency_ns, ref_metrics.p99_latency_ns);
+        prop_assert_eq!(fast_metrics.elapsed_ns, ref_metrics.elapsed_ns);
     }
 
     /// The ledger's hard cap holds under every scheduler and any workload the
