@@ -8,6 +8,11 @@
 //! * [`StripeMap`] — chunked round-robin striping of one logical byte address
 //!   space over N devices, with an exact LPN ↔ (device, local LPN) bijection
 //!   and loss-free splitting of requests that straddle stripe boundaries;
+//! * [`PlacementMap`] / [`Rebalancer`] — the adaptive layer: a remappable
+//!   stripe → (device, slot) indirection that starts round-robin-identical,
+//!   per-stripe heat tracking, and hot-stripe migration between replay
+//!   windows with the copy cost charged as injected device traffic
+//!   (enabled per-array via [`RebalanceConfig`]);
 //! * [`StripedFanout`] / [`DeviceSource`](splitter::DeviceSource) — splits one
 //!   streaming [`TraceSource`](sprinkler_workloads::TraceSource) into
 //!   per-device sub-sources that each preserve nondecreasing arrival order;
@@ -40,12 +45,14 @@
 
 pub mod config;
 pub mod metrics;
+pub mod placement;
 pub mod replay;
 pub mod splitter;
 pub mod stripe;
 
 pub use config::{ArrayConfig, MAX_DEVICES};
 pub use metrics::{ArrayMetrics, DeviceSkew};
+pub use placement::{Migration, PlacementMap, PlacementStats, RebalanceConfig, Rebalancer};
 pub use replay::{run_array, ArrayError};
 pub use splitter::StripedFanout;
 pub use stripe::{Fragment, StripeMap};

@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 use sprinkler_sim::TelemetrySnapshot;
 use sprinkler_ssd::{merged_latency_quantile, weighted_mean_latency_ns, RunMetrics};
 
+use crate::placement::PlacementStats;
+
 /// Per-device imbalance statistics: how evenly the striping map spread the
 /// workload, and how much the slowest device dragged the array.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -26,10 +28,18 @@ pub struct DeviceSkew {
     /// Slowest device elapsed over mean device elapsed — how long the array
     /// waits on its hottest shard.
     pub elapsed_imbalance: f64,
+    /// `io_imbalance` normalized by per-device service weights (chip counts):
+    /// `max(ios[d] / w[d]) / (Σ ios / Σ w)`.  Equals `io_imbalance` on
+    /// homogeneous arrays; on heterogeneous ones it reports overload relative
+    /// to each device's capability — a 32-chip device serving twice a 16-chip
+    /// device's I/Os is *balanced* here.
+    pub weighted_io_imbalance: f64,
+    /// `byte_imbalance` under the same per-device weight normalization.
+    pub weighted_byte_imbalance: f64,
 }
 
 impl DeviceSkew {
-    fn from_devices(devices: &[RunMetrics]) -> Self {
+    fn from_devices(devices: &[RunMetrics], weights: &[f64]) -> Self {
         let n = devices.len().max(1) as f64;
         let bytes: Vec<u64> = devices
             .iter()
@@ -41,6 +51,28 @@ impl DeviceSkew {
         let mean_elapsed = devices.iter().map(|m| m.elapsed_ns).sum::<u64>() as f64 / n;
         let max_elapsed = devices.iter().map(|m| m.elapsed_ns).max().unwrap_or(0);
         let ratio = |max: u64, mean: f64| if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        let uniform = vec![1.0; devices.len()];
+        let weights = if weights.len() == devices.len() {
+            weights
+        } else {
+            &uniform
+        };
+        // Weighted imbalance: each device's share over the share its weight
+        // entitles it to; 1.0 means every device is loaded exactly to its
+        // capability.
+        let weighted = |values: &[u64]| {
+            let total: f64 = values.iter().map(|&v| v as f64).sum();
+            let weight_total: f64 = weights.iter().sum();
+            if total <= 0.0 || weight_total <= 0.0 {
+                return 1.0;
+            }
+            let fair = total / weight_total;
+            values
+                .iter()
+                .zip(weights)
+                .map(|(&v, &w)| v as f64 / w / fair)
+                .fold(1.0f64, f64::max)
+        };
         DeviceSkew {
             min_device_bytes: bytes.iter().copied().min().unwrap_or(0),
             max_device_bytes: bytes.iter().copied().max().unwrap_or(0),
@@ -50,6 +82,8 @@ impl DeviceSkew {
             max_device_ios: ios.iter().copied().max().unwrap_or(0),
             io_imbalance: ratio(ios.iter().copied().max().unwrap_or(0), mean_ios),
             elapsed_imbalance: ratio(max_elapsed, mean_elapsed),
+            weighted_io_imbalance: weighted(&ios),
+            weighted_byte_imbalance: weighted(&bytes),
         }
     }
 }
@@ -97,16 +131,54 @@ pub struct ArrayMetrics {
     /// High-water mark of fragments buffered in the fanout while devices
     /// replayed at different positions.
     pub peak_fanout_buffered: u64,
+    /// Stripes the adaptive placement layer migrated between devices (0 with
+    /// the rebalancer off).
+    pub stripes_migrated: u64,
+    /// Bytes of stripe payload migrated; the devices served twice this much
+    /// injected copy traffic (a read on the source, a write on the target),
+    /// which the goodput figures below exclude.
+    pub migration_bytes: u64,
+    /// Heat-EWMA decay passes the rebalancer applied (one per window).
+    pub heat_decays: u64,
     /// The per-device metrics, in device order.
     pub devices: Vec<RunMetrics>,
 }
 
 impl ArrayMetrics {
-    /// Merges per-device run metrics into the host-level array view.
+    /// Merges per-device run metrics into the host-level array view, with no
+    /// adaptive-placement activity (static striping).
     ///
     /// A single-device merge is the identity on every shared field, so a
     /// 1-device array reports exactly what the bare device run reported.
     pub fn merge(stripe_bytes: u64, devices: Vec<RunMetrics>, peak_fanout_buffered: u64) -> Self {
+        Self::merge_with(
+            stripe_bytes,
+            devices,
+            peak_fanout_buffered,
+            PlacementStats::default(),
+            &[],
+        )
+    }
+
+    /// Merges per-device run metrics into the host-level array view,
+    /// accounting for the placement layer's activity and the devices' service
+    /// weights.
+    ///
+    /// `placement`'s migration traffic is *excluded* from the goodput figures
+    /// (`bandwidth_kb_per_sec`, `iops`): each migration injected one
+    /// stripe-sized read and one stripe-sized write that served no host
+    /// payload, while its service time still stretches the elapsed window —
+    /// so a rebalancer only wins on these figures when the improved balance
+    /// outweighs what the copies cost.  Raw totals (`io_count`, byte
+    /// counters) keep counting everything the devices served.  `weights`
+    /// (one per device, or empty for uniform) feed the weighted skew figures.
+    pub fn merge_with(
+        stripe_bytes: u64,
+        devices: Vec<RunMetrics>,
+        peak_fanout_buffered: u64,
+        placement: PlacementStats,
+        weights: &[f64],
+    ) -> Self {
         assert!(!devices.is_empty(), "an array has at least one device");
         let scheduler = devices[0].scheduler.clone();
         // The array's wall-clock is the *union* of the devices' activity
@@ -134,9 +206,14 @@ impl ArrayMetrics {
             )
         } else {
             let elapsed_secs = (elapsed_ns as f64 / 1e9).max(1e-12);
+            // Goodput: host payload only.  Each migration injected a
+            // stripe-sized read plus a stripe-sized write of copy traffic.
+            let payload_bytes =
+                (bytes_read + bytes_written).saturating_sub(2 * placement.migration_bytes);
+            let payload_ios = io_count.saturating_sub(2 * placement.stripes_migrated);
             (
-                (bytes_read + bytes_written) as f64 / 1024.0 / elapsed_secs,
-                io_count as f64 / elapsed_secs,
+                payload_bytes as f64 / 1024.0 / elapsed_secs,
+                payload_ios as f64 / elapsed_secs,
                 weighted_mean_latency_ns(devices.iter()),
                 merged_latency_quantile(devices.iter(), 0.99),
             )
@@ -157,8 +234,11 @@ impl ArrayMetrics {
             p99_latency_ns,
             max_latency_ns: devices.iter().map(|m| m.max_latency_ns).max().unwrap_or(0),
             queue_stall_ns: devices.iter().map(|m| m.queue_stall_ns).sum(),
-            skew: DeviceSkew::from_devices(&devices),
+            skew: DeviceSkew::from_devices(&devices, weights),
             peak_fanout_buffered,
+            stripes_migrated: placement.stripes_migrated,
+            migration_bytes: placement.migration_bytes,
+            heat_decays: placement.heat_decays,
             devices,
         }
     }
@@ -230,12 +310,20 @@ impl ArrayMetrics {
             transactions: self.devices.iter().map(|m| m.transactions).sum(),
             memory_requests: self.devices.iter().map(|m| m.memory_requests).sum(),
             latency_buckets,
-            telemetry: self
-                .devices
-                .iter()
-                .fold(TelemetrySnapshot::default(), |acc, m| {
-                    acc.merged(&m.telemetry)
-                }),
+            telemetry: {
+                // Fold the device counters, then stamp in the array-level
+                // placement counters (devices never touch those fields).
+                let mut folded = self
+                    .devices
+                    .iter()
+                    .fold(TelemetrySnapshot::default(), |acc, m| {
+                        acc.merged(&m.telemetry)
+                    });
+                folded.stripes_migrated += self.stripes_migrated;
+                folded.migration_bytes += self.migration_bytes;
+                folded.heat_decays += self.heat_decays;
+                folded
+            },
             ..RunMetrics::default()
         }
     }

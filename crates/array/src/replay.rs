@@ -10,6 +10,7 @@ use sprinkler_workloads::{TraceRecord, TraceSource};
 
 use crate::config::ArrayConfig;
 use crate::metrics::ArrayMetrics;
+use crate::placement::Rebalancer;
 use crate::splitter::{DeviceSource, StripedFanout};
 
 /// Why an array replay could not run.
@@ -116,10 +117,28 @@ pub fn run_array(
     // early (it still consumes the rest of the trace) waits for its siblings
     // instead of buffering the remainder — replay memory stays O(cap), not
     // O(trace length).
-    let buffer_cap = (config.devices * config.device.queue_depth * 4).max(256);
-    let fanout = StripedFanout::new(source, config.stripe_map()).with_buffer_cap(buffer_cap);
-    let page_size = config.device.page_size();
-    let devices = config.devices;
+    let max_queue_depth = config
+        .devices
+        .iter()
+        .map(|d| d.queue_depth)
+        .max()
+        .unwrap_or(0);
+    let buffer_cap = (config.width() * max_queue_depth * 4).max(256);
+    // Static striping unless a rebalance tuning is set; with it, the fanout
+    // routes through the remappable placement table, tracks heat, and applies
+    // (and charges) hot-stripe migrations at window boundaries — all inside
+    // the fanout lock, in trace order, so metrics stay deterministic.
+    let fanout = match &config.rebalance {
+        None => StripedFanout::new(source, config.stripe_map()),
+        Some(rebalance) => {
+            let placement = config.placement_map(footprint);
+            let total_stripes = placement.total_stripes();
+            let rebalancer = Rebalancer::new(*rebalance, config.device_weights(), total_stripes);
+            StripedFanout::adaptive(source, placement, rebalancer)
+        }
+    }
+    .with_buffer_cap(buffer_cap);
+    let devices = config.width();
     // One scoped worker per device (the validated width is small): every
     // sub-source must drain concurrently, otherwise a parked device's
     // fragments would accumulate in the fanout for the whole replay.
@@ -129,7 +148,9 @@ pub fn run_array(
             .map(|device| {
                 let fanout = &fanout;
                 scope.spawn(move || {
-                    let ssd = Ssd::new(config.device.clone(), kind.build())
+                    let device_config = config.device(device).clone();
+                    let page_size = device_config.page_size();
+                    let ssd = Ssd::new(device_config, kind.build())
                         .expect("validated array device config must build");
                     ssd.run_stream(DeviceRequestStream {
                         source: fanout.device_source(device),
@@ -143,7 +164,14 @@ pub fn run_array(
         }
     });
     let peak = fanout.peak_buffered() as u64;
-    Ok(ArrayMetrics::merge(config.stripe_bytes, metrics, peak))
+    let placement_stats = fanout.placement_stats();
+    Ok(ArrayMetrics::merge_with(
+        config.stripe_bytes,
+        metrics,
+        peak,
+        placement_stats,
+        &config.device_weights(),
+    ))
 }
 
 #[cfg(test)]
@@ -217,7 +245,7 @@ mod tests {
         let trace = Trace::new("skewed", records);
         let metrics = run_array(&config, SchedulerKind::Vas, &mut trace.source()).unwrap();
         assert_eq!(metrics.io_count, total);
-        let cap = (2 * config.device.queue_depth * 4).max(256) as u64;
+        let cap = (2 * config.device(0).queue_depth * 4).max(256) as u64;
         assert!(
             metrics.peak_fanout_buffered <= cap + 4,
             "fanout buffered {} fragments; cap is {cap} — early-exhausted \

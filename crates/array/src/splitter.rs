@@ -3,12 +3,23 @@
 //! [`StripedFanout`] wraps a single time-ordered trace source and exposes one
 //! [`DeviceSource`] per device.  Each pull on a device source first drains that
 //! device's buffered fragments; when empty, it pulls the shared underlying
-//! source, splits the record at stripe boundaries via the [`StripeMap`], and
-//! routes the fragments to their devices' buffers.  Because every fragment of
-//! a record carries the record's arrival time and the underlying source yields
-//! nondecreasing arrivals, every per-device sub-stream is itself a valid
-//! [`TraceSource`]: nondecreasing arrivals, fragments within the device's
-//! local footprint bound.
+//! source, splits the record at stripe boundaries via the [`StripeMap`] (or,
+//! for an [adaptive](StripedFanout::adaptive) fanout, the current
+//! [`PlacementMap`]), and routes the fragments to their devices' buffers.
+//! Because every fragment of a record carries the record's arrival time and
+//! the underlying source yields nondecreasing arrivals, every per-device
+//! sub-stream is itself a valid [`TraceSource`]: nondecreasing arrivals,
+//! fragments within the device's local footprint bound.
+//!
+//! The **adaptive** fanout additionally feeds every routed stripe's bytes into
+//! a [`Rebalancer`]'s heat EWMA and, at window boundaries, applies the
+//! migrations it selects: the placement table is remapped and the copy cost is
+//! charged as injected traffic — a stripe-sized read on the source device and
+//! a stripe-sized write on the target, stamped with the latest routed arrival
+//! so sub-stream arrivals stay nondecreasing.  All of it happens inside
+//! `pump`, under the fanout mutex, in trace order — so routing and migration
+//! decisions are deterministic regardless of which device thread happens to
+//! pump, and replay metrics stay exactly reproducible.
 //!
 //! The buffers hold only the skew between device replay positions: a fragment
 //! routed to device B while device A is pulling stays buffered until B's
@@ -27,9 +38,24 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-use sprinkler_workloads::{TraceRecord, TraceSource};
+use sprinkler_sim::SimTime;
+use sprinkler_workloads::{TraceOp, TraceRecord, TraceSource};
 
-use crate::stripe::StripeMap;
+use crate::placement::{Migration, PlacementMap, PlacementStats, Rebalancer};
+use crate::stripe::{Fragment, StripeMap};
+
+/// The adaptive-placement state, owned by the fanout's mutex so heat
+/// accounting, migration selection, and traffic injection all happen in trace
+/// order.
+struct AdaptiveState {
+    placement: PlacementMap,
+    rebalancer: Rebalancer,
+    /// Reusable scratch for each window's selected migrations.
+    migrations: Vec<Migration>,
+    /// Arrival stamp for injected migration traffic: the latest routed
+    /// record's arrival, preserving per-device arrival monotonicity.
+    last_arrival: SimTime,
+}
 
 struct FanoutInner<'a> {
     source: &'a mut (dyn TraceSource + Send),
@@ -40,28 +66,94 @@ struct FanoutInner<'a> {
     buffered: usize,
     peak_buffered: usize,
     exhausted: bool,
+    /// Reusable fragment scratch for record splitting (one split per record
+    /// on the streaming hot path — no per-record allocation).
+    scratch: Vec<Fragment>,
+    /// `Some` on adaptive fanouts; `None` keeps routing byte-identical to the
+    /// closed-form striping.
+    adaptive: Option<AdaptiveState>,
 }
 
 impl FanoutInner<'_> {
-    /// Pulls one record from the underlying source and routes its fragments.
+    /// Pulls one record from the underlying source and routes its fragments;
+    /// on adaptive fanouts also feeds the heat tracker and, at window
+    /// boundaries, applies migrations and injects their copy traffic.
     /// Returns `false` when the source is exhausted.
     fn pump(&mut self, map: &StripeMap) -> bool {
         let Some(record) = self.source.next_record() else {
             return false;
         };
-        for fragment in map.split(&record) {
-            let id = self.next_ids[fragment.device];
-            self.next_ids[fragment.device] += 1;
-            self.queues[fragment.device].push_back(TraceRecord {
+        let FanoutInner {
+            queues,
+            next_ids,
+            buffered,
+            peak_buffered,
+            scratch,
+            adaptive,
+            ..
+        } = self;
+        match adaptive {
+            None => map.split_into(&record, scratch),
+            Some(state) => {
+                // Heat first: walk the record's stripes and charge each with
+                // its share of the bytes, against the *current* placement.
+                let stripe_bytes = state.placement.stripe_bytes();
+                let mut offset = record.offset;
+                let mut remaining = record.bytes.max(1);
+                while remaining > 0 {
+                    let take = (stripe_bytes - offset % stripe_bytes).min(remaining);
+                    state
+                        .rebalancer
+                        .note(offset / stripe_bytes, take, &state.placement);
+                    offset += take;
+                    remaining -= take;
+                }
+                state.placement.split_into(&record, scratch);
+                state.last_arrival = record.arrival;
+            }
+        }
+        for fragment in scratch.iter() {
+            let id = next_ids[fragment.device];
+            next_ids[fragment.device] += 1;
+            queues[fragment.device].push_back(TraceRecord {
                 id,
                 arrival: record.arrival,
                 op: record.op,
                 offset: fragment.offset,
                 bytes: fragment.bytes,
             });
-            self.buffered += 1;
+            *buffered += 1;
         }
-        self.peak_buffered = self.peak_buffered.max(self.buffered);
+        if let Some(state) = adaptive {
+            let AdaptiveState {
+                placement,
+                rebalancer,
+                migrations,
+                last_arrival,
+            } = state;
+            rebalancer.record_routed(placement, migrations);
+            let stripe_bytes = placement.stripe_bytes();
+            for migration in migrations.iter() {
+                // Charge the copy: a stripe-sized read where the stripe was,
+                // a stripe-sized write where it now lives.
+                for (device, slot, op) in [
+                    (migration.from_device, migration.from_slot, TraceOp::Read),
+                    (migration.to_device, migration.to_slot, TraceOp::Write),
+                ] {
+                    let id = next_ids[device];
+                    next_ids[device] += 1;
+                    queues[device].push_back(TraceRecord {
+                        id,
+                        arrival: *last_arrival,
+                        op,
+                        offset: slot * stripe_bytes,
+                        bytes: stripe_bytes,
+                    });
+                    *buffered += 1;
+                }
+            }
+        }
+        *peak_buffered = (*peak_buffered).max(*buffered);
         true
     }
 }
@@ -91,18 +183,68 @@ impl std::fmt::Debug for StripedFanout<'_> {
 }
 
 impl<'a> StripedFanout<'a> {
-    /// Wraps `source`, dealing its records across `map.devices()` sub-sources.
+    /// Wraps `source`, dealing its records across `map.devices()` sub-sources
+    /// with static round-robin placement.
     pub fn new(source: &'a mut (dyn TraceSource + Send), map: StripeMap) -> Self {
         let devices = map.devices();
         let name = source.name().to_string();
         let footprint = source.footprint_bytes();
+        let footprints = (0..devices)
+            .map(|d| map.local_footprint(footprint, d))
+            .collect();
+        Self::build(source, map, footprints, name, None)
+    }
+
+    /// Wraps `source` with **adaptive** placement: records route through
+    /// `placement` (which must start covering the source's footprint), heat
+    /// feeds `rebalancer`, and selected migrations remap the table and inject
+    /// their copy traffic.
+    ///
+    /// Each device's declared footprint covers every slot a migration could
+    /// ever land in: the initial frontier plus the rebalancer's total
+    /// migration budget, clamped to the device's slot capacity — migrations
+    /// allocate lowest-free-slot, so the frontier grows by at most one slot
+    /// per migration.
+    pub fn adaptive(
+        source: &'a mut (dyn TraceSource + Send),
+        placement: PlacementMap,
+        rebalancer: Rebalancer,
+    ) -> Self {
+        let devices = placement.devices();
+        let map = StripeMap::new(devices, placement.stripe_bytes());
+        let name = source.name().to_string();
+        let budget = rebalancer.config().max_total_migrations;
+        let footprints = (0..devices)
+            .map(|d| {
+                placement
+                    .frontier_slots(d)
+                    .saturating_add(budget)
+                    .min(placement.slot_cap(d))
+                    * placement.stripe_bytes()
+            })
+            .collect();
+        let adaptive = AdaptiveState {
+            placement,
+            rebalancer,
+            migrations: Vec::new(),
+            last_arrival: SimTime::ZERO,
+        };
+        Self::build(source, map, footprints, name, Some(adaptive))
+    }
+
+    fn build(
+        source: &'a mut (dyn TraceSource + Send),
+        map: StripeMap,
+        footprints: Vec<u64>,
+        name: String,
+        adaptive: Option<AdaptiveState>,
+    ) -> Self {
+        let devices = map.devices();
         StripedFanout {
             names: (0..devices)
                 .map(|d| format!("{name}[{d}/{devices}]"))
                 .collect(),
-            footprints: (0..devices)
-                .map(|d| map.local_footprint(footprint, d))
-                .collect(),
+            footprints,
             buffer_cap: usize::MAX,
             inner: Mutex::new(FanoutInner {
                 source,
@@ -111,6 +253,8 @@ impl<'a> StripedFanout<'a> {
                 buffered: 0,
                 peak_buffered: 0,
                 exhausted: false,
+                scratch: Vec::with_capacity(4),
+                adaptive,
             }),
             drained: Condvar::new(),
             map,
@@ -129,9 +273,33 @@ impl<'a> StripedFanout<'a> {
         self
     }
 
-    /// The striping map in use.
+    /// The static striping geometry (devices and stripe size).  On adaptive
+    /// fanouts this is the *initial* layout only; see
+    /// [`StripedFanout::placement`] for the live table.
     pub fn map(&self) -> &StripeMap {
         &self.map
+    }
+
+    /// A snapshot of the current placement table on adaptive fanouts, `None`
+    /// on static ones.
+    pub fn placement(&self) -> Option<PlacementMap> {
+        self.inner
+            .lock()
+            .expect("fanout lock poisoned")
+            .adaptive
+            .as_ref()
+            .map(|state| state.placement.clone())
+    }
+
+    /// The placement layer's counters so far: zero on static fanouts.
+    pub fn placement_stats(&self) -> PlacementStats {
+        self.inner
+            .lock()
+            .expect("fanout lock poisoned")
+            .adaptive
+            .as_ref()
+            .map(|state| state.rebalancer.stats)
+            .unwrap_or_default()
     }
 
     /// The sub-source for one device.  Multiple device sources may pull
@@ -210,6 +378,7 @@ impl TraceSource for DeviceSource<'_, '_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement::RebalanceConfig;
     use sprinkler_sim::SimTime;
     use sprinkler_workloads::{SyntheticSpec, Trace, TraceOp};
 
@@ -293,5 +462,96 @@ mod tests {
             }
         }
         assert_eq!(split_total, total);
+    }
+
+    #[test]
+    fn adaptive_fanout_with_no_migrations_matches_the_static_routing() {
+        let spec = SyntheticSpec::new("same").with_footprint_mb(8);
+        let stripe = 64 * 1024u64;
+        let total_stripes = (8u64 << 20).div_ceil(stripe);
+        let collect = |adaptive: bool| {
+            let mut source = spec.stream(300, 0x11);
+            let fanout = if adaptive {
+                // A trigger the workload never reaches: placement stays put.
+                let config = RebalanceConfig {
+                    trigger_ratio: 1e18,
+                    ..RebalanceConfig::default()
+                };
+                StripedFanout::adaptive(
+                    &mut source,
+                    PlacementMap::round_robin(3, stripe, total_stripes, vec![u64::MAX; 3]),
+                    Rebalancer::new(config, vec![1.0; 3], total_stripes),
+                )
+            } else {
+                StripedFanout::new(&mut source, StripeMap::new(3, stripe))
+            };
+            let mut all = Vec::new();
+            for device in 0..3 {
+                let mut sub = fanout.device_source(device);
+                let mut records = Vec::new();
+                while let Some(record) = sub.next_record() {
+                    records.push(record);
+                }
+                all.push(records);
+            }
+            all
+        };
+        assert_eq!(collect(false), collect(true));
+    }
+
+    #[test]
+    fn adaptive_fanout_injects_migration_traffic_and_stays_sorted() {
+        // Hammer stripes 0 and 2 — both on device 0 of a 2-wide array — so
+        // the rebalancer must move one and charge the copy.
+        let stripe = 1000u64;
+        let records: Vec<TraceRecord> = (0..40)
+            .map(|i| rec(i, i, if i % 2 == 0 { 0 } else { 2000 }, 1000))
+            .collect();
+        let trace = Trace::new("hot", records);
+        let mut source = trace.source();
+        let config = RebalanceConfig {
+            window_records: 8,
+            trigger_ratio: 1.1,
+            ..RebalanceConfig::default()
+        };
+        let fanout = StripedFanout::adaptive(
+            &mut source,
+            PlacementMap::round_robin(2, stripe, 4, vec![u64::MAX; 2]),
+            Rebalancer::new(config, vec![1.0; 2], 4),
+        );
+        let mut totals = [0u64; 2];
+        let mut reads = 0u64;
+        for (device, total) in totals.iter_mut().enumerate() {
+            let mut sub = fanout.device_source(device);
+            let bound = sub.footprint_bytes();
+            let mut last = SimTime::ZERO;
+            let mut next_id = 0;
+            while let Some(record) = sub.next_record() {
+                assert!(record.arrival >= last, "arrivals must stay nondecreasing");
+                assert!(record.offset + record.bytes <= bound, "fragment spills");
+                assert_eq!(record.id, next_id, "ids must stay dense");
+                *total += record.bytes;
+                reads += u64::from(record.op == TraceOp::Read);
+                last = record.arrival;
+                next_id += 1;
+            }
+        }
+        let stats = fanout.placement_stats();
+        assert!(stats.stripes_migrated >= 1, "the hot stripe must move");
+        assert_eq!(stats.migration_bytes, stats.stripes_migrated * stripe);
+        assert!(stats.heat_decays >= 1);
+        assert!(
+            reads >= stats.stripes_migrated,
+            "each migration reads source"
+        );
+        // Routed payload (40 KB) plus 2 stripe copies per migration.
+        assert_eq!(
+            totals[0] + totals[1],
+            40_000 + 2 * stats.migration_bytes,
+            "copy traffic must be charged on both ends"
+        );
+        // And the placement genuinely changed: stripes 0 and 2 now differ.
+        let placement = fanout.placement().unwrap();
+        assert_ne!(placement.stripe_device(0), placement.stripe_device(2));
     }
 }

@@ -136,8 +136,20 @@ impl StripeMap {
     /// Splits one trace record at stripe boundaries into per-device fragments,
     /// in global address order, coalescing locally contiguous pieces.  The
     /// fragment byte lengths always sum to the record's length.
+    ///
+    /// Thin allocating wrapper over [`StripeMap::split_into`]; the streaming
+    /// fanout reuses a scratch vector instead.
     pub fn split(&self, record: &TraceRecord) -> Vec<Fragment> {
         let mut fragments: Vec<Fragment> = Vec::with_capacity(2);
+        self.split_into(record, &mut fragments);
+        fragments
+    }
+
+    /// Allocation-free form of [`StripeMap::split`]: clears `out` and fills it
+    /// with the record's fragments, reusing the vector's capacity.  This is
+    /// the hot-path entry point — one split per streamed trace record.
+    pub fn split_into(&self, record: &TraceRecord, out: &mut Vec<Fragment>) {
+        out.clear();
         let mut offset = record.offset;
         let mut remaining = record.bytes.max(1);
         while remaining > 0 {
@@ -146,14 +158,12 @@ impl StripeMap {
             let (device, local) = self.locate(offset);
             // Coalesce with the device's most recent fragment when locally
             // contiguous.  After coalescing the vec holds at most one entry
-            // per device, so the backward scan is short — and allocation-free,
-            // which matters on the streaming replay hot path (one split per
-            // trace record).
-            match fragments.iter().rposition(|f| f.device == device) {
-                Some(i) if fragments[i].offset + fragments[i].bytes == local => {
-                    fragments[i].bytes += take;
+            // per device, so the backward scan is short.
+            match out.iter().rposition(|f| f.device == device) {
+                Some(i) if out[i].offset + out[i].bytes == local => {
+                    out[i].bytes += take;
                 }
-                _ => fragments.push(Fragment {
+                _ => out.push(Fragment {
                     device,
                     offset: local,
                     bytes: take,
@@ -162,7 +172,6 @@ impl StripeMap {
             offset += take;
             remaining -= take;
         }
-        fragments
     }
 }
 

@@ -1,0 +1,31 @@
+//! Times the adaptive placement path end to end — heat tracking on every
+//! split, window-boundary rebalancing decisions, and migration traffic
+//! injection — against the same workload routed through static striping, so a
+//! regression in the indirection layer's overhead is visible as a widening
+//! static/adaptive timing gap rather than only as a simulated-metric drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::bench_scale;
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let outcome = scenario::run("array-rebalance", &scale).expect("array-rebalance is registered");
+    println!("{}", outcome.table().render());
+
+    let mut group = c.benchmark_group("placement_rebalance");
+    group.sample_size(10);
+    for label in ["static", "adaptive"] {
+        group.bench_function(&format!("spk3_{label}_modular_hot"), |b| {
+            b.iter(|| scenario::array_rebalance_metrics(&scale, label, SchedulerKind::Spk3))
+        });
+    }
+    group.bench_function("spk3_hetero_adaptive", |b| {
+        b.iter(|| scenario::array_hetero_metrics(&scale, "adaptive", SchedulerKind::Spk3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

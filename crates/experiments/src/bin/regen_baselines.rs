@@ -261,7 +261,12 @@ fn scaling_metrics() -> Vec<(&'static str, f64)> {
     ]
 }
 
-/// `BENCH_array.json`: the array scale-out sweep at quick scale.
+/// `BENCH_array.json`: the array scale-out sweep at quick scale, plus the
+/// adaptive-placement figures — the skew acceptance triple (uniform /
+/// hot-shard / hot-shard-rebalance at the skew figure horizon) and the
+/// modular-hot-set and heterogeneous headline cells, with the rebalancer's
+/// telemetry counters baselined from the merged summary so the whole
+/// heat-track → migrate → merge path sits under the perf gate.
 fn array_metrics() -> Vec<(&'static str, f64)> {
     let scale = ExperimentScale::quick();
     let spk3 = |devices| scenario::array_scaleout_metrics(&scale, devices, SchedulerKind::Spk3);
@@ -273,6 +278,20 @@ fn array_metrics() -> Vec<(&'static str, f64)> {
     // histogram; baselining counters from it keeps the array merge path
     // itself under the perf gate.
     let n16_summary = n16.summary_run_metrics();
+    let skew = |label| scenario::array_skew_figure_metrics(&scale, label, SchedulerKind::Spk3);
+    let uniform = skew("uniform");
+    let hot = skew("hot-shard");
+    let rebalanced = skew("hot-shard-rebalance");
+    // The headline acceptance figure: what fraction of the hot shard's
+    // bandwidth cost the rebalancer claws back (0 = no better than static,
+    // 1 = fully recovered to the uniform workload's bandwidth).
+    let recovered = (rebalanced.bandwidth_kb_per_sec - hot.bandwidth_kb_per_sec)
+        / (uniform.bandwidth_kb_per_sec - hot.bandwidth_kb_per_sec);
+    let reb_adaptive = scenario::array_rebalance_metrics(&scale, "adaptive", SchedulerKind::Spk3);
+    let reb_static = scenario::array_rebalance_metrics(&scale, "static", SchedulerKind::Spk3);
+    let reb_telemetry = reb_adaptive.summary_run_metrics().telemetry;
+    let het_adaptive = scenario::array_hetero_metrics(&scale, "adaptive", SchedulerKind::Spk3);
+    let het_static = scenario::array_hetero_metrics(&scale, "static", SchedulerKind::Spk3);
     vec![
         ("array_spk3_n1_kbps", n1.bandwidth_kb_per_sec),
         ("array_spk3_n4_kbps", n4.bandwidth_kb_per_sec),
@@ -290,6 +309,56 @@ fn array_metrics() -> Vec<(&'static str, f64)> {
         (
             "array_spk3_n16_p99_latency_ns",
             n16_summary.p99_latency_ns as f64,
+        ),
+        ("array_skew_uniform_kbps", uniform.bandwidth_kb_per_sec),
+        ("array_skew_hot_shard_kbps", hot.bandwidth_kb_per_sec),
+        ("array_skew_rebalance_kbps", rebalanced.bandwidth_kb_per_sec),
+        ("array_skew_hot_shard_io_imbalance", hot.skew.io_imbalance),
+        (
+            "array_skew_rebalance_io_imbalance",
+            rebalanced.skew.io_imbalance,
+        ),
+        ("array_skew_gap_recovered_frac", recovered),
+        (
+            "array_skew_rebalance_stripes_migrated",
+            rebalanced.stripes_migrated as f64,
+        ),
+        (
+            "array_rebalance_static_kbps",
+            reb_static.bandwidth_kb_per_sec,
+        ),
+        (
+            "array_rebalance_adaptive_kbps",
+            reb_adaptive.bandwidth_kb_per_sec,
+        ),
+        (
+            "array_rebalance_adaptive_io_imbalance",
+            reb_adaptive.skew.io_imbalance,
+        ),
+        (
+            "array_rebalance_stripes_migrated",
+            reb_telemetry.stripes_migrated as f64,
+        ),
+        (
+            "array_rebalance_migration_bytes",
+            reb_telemetry.migration_bytes as f64,
+        ),
+        (
+            "array_rebalance_heat_decays",
+            reb_telemetry.heat_decays as f64,
+        ),
+        ("array_hetero_static_kbps", het_static.bandwidth_kb_per_sec),
+        (
+            "array_hetero_adaptive_kbps",
+            het_adaptive.bandwidth_kb_per_sec,
+        ),
+        (
+            "array_hetero_static_weighted_io_imbalance",
+            het_static.skew.weighted_io_imbalance,
+        ),
+        (
+            "array_hetero_adaptive_weighted_io_imbalance",
+            het_adaptive.skew.weighted_io_imbalance,
         ),
     ]
 }
@@ -499,7 +568,7 @@ fn regen_array_baseline(label: &str, date: &str) -> String {
   "baseline": "{label}",
   "date": "{date}",
   "command": "cargo run --release -p sprinkler_experiments --bin regen_baselines -- --label '...'",
-  "scenario": "array-scaleout: one 256KB-transfer workload striped over n devices at a fixed 64-chip budget and fixed 512MB footprint (32KB stripes); timing at bench scale to match the array_scaleout criterion bench, metrics_check at quick scale to match the CI scenario run",
+  "scenario": "array-scaleout: one 256KB-transfer workload striped over n devices at a fixed 64-chip budget and fixed 512MB footprint (32KB stripes); plus adaptive-placement figures: array-skew uniform/hot-shard/hot-shard-rebalance at the 12x figure horizon, array-rebalance and array-hetero static/adaptive cells with the rebalancer's migration telemetry; timing at bench scale to match the array_scaleout criterion bench, metrics_check at quick scale to match the CI scenario run",
   "profile": "release, 1 untimed warmup then {SAMPLES} timed iterations (regen_baselines)",
   "results": [
     {{

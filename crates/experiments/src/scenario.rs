@@ -12,7 +12,9 @@
 //! | `queue-depth-sweep` | the same bursty workload across device queue depths 8→64 |
 //! | `mixed-burst`       | half-read/half-write bursts at high and low transactional locality |
 //! | `array-scaleout`    | the multi-SSD frontend: one trace striped over 1→16 devices at a fixed 64-chip budget and fixed footprint (the array analogue of the fig15 sweep) |
-//! | `array-skew`        | hot-shard imbalance: clustered offsets against coarse stripes vs a uniform workload on a 4-device array |
+//! | `array-skew`        | hot-shard imbalance: clustered offsets against coarse stripes vs a uniform workload on a 4-device array, plus the same hot shard with the adaptive rebalancer on — the regression the placement layer must win |
+//! | `array-rebalance`   | a modular hot set (every hot stripe ≡ 0 mod width, so round-robin deals them all to one device) replayed static vs adaptive — only the placement indirection can spread the heat |
+//! | `array-hetero`      | heterogeneous devices (32/16/8/8 chips) with the hot set dealt to a small device: weight-aware migration moves it toward the big device |
 //!
 //! Every scenario compares the conventional controller (VAS) against full
 //! Sprinkler (SPK3) and returns per-cell [`RunMetrics`], so regressions in any
@@ -21,23 +23,26 @@
 //! line (CI runs it at quick scale).
 
 use serde::{Deserialize, Serialize};
-use sprinkler_array::{run_array, ArrayConfig, ArrayMetrics};
+use sprinkler_array::{run_array, ArrayConfig, ArrayMetrics, RebalanceConfig};
 use sprinkler_core::SchedulerKind;
+use sprinkler_sim::{SimTime, SplitMix64};
 use sprinkler_ssd::{GcConfig, RunMetrics, SsdConfig};
-use sprinkler_workloads::{parse, workload, Locality, SweepSpec, SyntheticSpec};
+use sprinkler_workloads::{parse, workload, SweepSpec, SyntheticSpec, Trace, TraceOp, TraceRecord};
 
 use crate::replay::{run_source, run_source_detailed, CapacityPolicy};
 use crate::report::{fmt_f64, Table};
 use crate::runner::{run_cells, ExperimentScale};
 
 /// The registered scenario names, in run order.
-pub const SCENARIO_NAMES: [&str; 6] = [
+pub const SCENARIO_NAMES: [&str; 8] = [
     "enterprise-replay",
     "gc-steady-state",
     "queue-depth-sweep",
     "mixed-burst",
     "array-scaleout",
     "array-skew",
+    "array-rebalance",
+    "array-hetero",
 ];
 
 /// Array widths the scale-out scenario sweeps; the chip budget is fixed, so
@@ -124,6 +129,8 @@ pub fn run(name: &str, scale: &ExperimentScale) -> Option<ScenarioOutcome> {
         "mixed-burst" => mixed_burst(scale),
         "array-scaleout" => array_scaleout(scale),
         "array-skew" => array_skew(scale),
+        "array-rebalance" => array_rebalance(scale),
+        "array-hetero" => array_hetero(scale),
         _ => return None,
     };
     Some(ScenarioOutcome {
@@ -331,49 +338,108 @@ fn array_scaleout(scale: &ExperimentScale) -> Vec<ScenarioCell> {
     })
 }
 
-/// The array-skew variants: a uniform random workload against a clustered
-/// one whose 2 MB offset clusters sit inside single 4 MB stripes, pinning
-/// bursts to one shard at a time.
-fn array_skew_spec(label: &str) -> SyntheticSpec {
-    let spec = SyntheticSpec::new(label)
-        .with_read_fraction(0.7)
-        .with_mean_sizes_kb(16.0, 16.0)
-        .with_bursts(16, 60.0);
-    match label {
-        "uniform" => spec
-            .with_locality(Locality::Low)
-            .with_randomness(1.0, 1.0)
-            .with_footprint_mb(256),
-        _ => spec
-            .with_locality(Locality::High)
-            .with_randomness(0.2, 0.2)
-            .with_footprint_mb(24),
+/// Logical stripes the skew workload spans (64 MB at 4 MB stripes).
+const ARRAY_SKEW_TOTAL_STRIPES: u64 = 16;
+
+/// Standing hot stripes in the skew workload, all ≡ 0 (mod 4): round-robin
+/// deals every one to device 0.
+const ARRAY_SKEW_HOT_STRIPES: u64 = 4;
+
+/// The skew workload family: one deterministic generator serves all three
+/// variants so the hot-shard and rebalance cells replay *byte-identical*
+/// streams and the uniform cell differs only in where offsets land.  The
+/// hot variants aim 40% of the requests at a standing 4-stripe hot set whose
+/// 2 MB offset clusters sit inside single 4 MB stripes — and every hot
+/// stripe index is ≡ 0 (mod 4), so static round-robin concentrates the
+/// whole shard on device 0.
+fn array_skew_trace(label: &str, records: u64) -> Trace {
+    let stripe_bytes = 4 * 1024 * 1024;
+    modular_hot_trace(
+        label,
+        records,
+        0x5E,
+        &HotSetSpec {
+            stripe_bytes,
+            width: 4,
+            residue: 0,
+            hot_stripes: ARRAY_SKEW_HOT_STRIPES,
+            total_stripes: ARRAY_SKEW_TOTAL_STRIPES,
+            hot_percent: if label == "uniform" { 0 } else { 40 },
+            // Clustered offsets: hot requests stay inside a 2 MB window of
+            // their stripe.
+            hot_span: stripe_bytes / 2,
+            request_bytes: 64 * 1024,
+        },
+    )
+}
+
+/// The rebalance tuning the skew scenario's third variant runs.  Coarse
+/// 4 MB stripes make migration expensive (each move injects ~8 MB of copy
+/// traffic), so the window is long enough for an accurate heat estimate and
+/// the budget is tight: two or three decisive moves spread the standing hot
+/// set, then the trigger guard goes quiet.
+fn array_skew_rebalance() -> RebalanceConfig {
+    RebalanceConfig {
+        window_records: 48,
+        decay: 0.9,
+        trigger_ratio: 1.2,
+        max_migrations_per_window: 1,
+        max_total_migrations: 3,
     }
 }
 
 /// One array-skew cell, exposed for tests that assert on the imbalance
-/// statistics the [`ScenarioCell`] summary flattens away.
+/// statistics the [`ScenarioCell`] summary flattens away.  The
+/// `"hot-shard-rebalance"` variant replays the *byte-identical* hot-shard
+/// stream with the adaptive placement layer on, so any difference in the
+/// metrics is attributable to migration alone.
 pub fn array_skew_metrics(
     scale: &ExperimentScale,
     label: &str,
     kind: SchedulerKind,
 ) -> ArrayMetrics {
-    let config = ArrayConfig::new(scenario_config(scale).with_chip_count(ARRAY_CHIP_BUDGET / 4))
-        .with_devices(4)
-        .with_stripe_kb(4096);
-    run_array(
-        &config,
-        kind,
-        &mut array_skew_spec(label).stream(scale.ios_per_workload, 0x5E),
-    )
-    .expect("the skew workload fits the array")
+    let mut config =
+        ArrayConfig::new(scenario_config(scale).with_chip_count(ARRAY_CHIP_BUDGET / 4))
+            .with_devices(4)
+            .with_stripe_kb(4096);
+    let trace_label = if label == "hot-shard-rebalance" {
+        config = config.with_rebalance(array_skew_rebalance());
+        "hot-shard"
+    } else {
+        label
+    };
+    let trace = array_skew_trace(trace_label, scale.ios_per_workload);
+    run_array(&config, kind, &mut trace.source()).expect("the skew workload fits the array")
+}
+
+/// The horizon multiplier for the skew acceptance figures.  A 4 MB stripe
+/// copy is ~8 MB of injected device traffic — more than the whole quick-scale
+/// payload — so the quick cell cannot amortize even one migration.  The
+/// recorded figures replay the same cells over this many quick horizons,
+/// the way a standing hot shard would amortize a one-time move.
+pub const ARRAY_SKEW_FIGURE_IOS_FACTOR: u64 = 12;
+
+/// The array-skew cell at the figure horizon
+/// ([`ARRAY_SKEW_FIGURE_IOS_FACTOR`] × the scale's record count) — the
+/// deterministic basis for the recorded skew/rebalance figures.
+pub fn array_skew_figure_metrics(
+    scale: &ExperimentScale,
+    label: &str,
+    kind: SchedulerKind,
+) -> ArrayMetrics {
+    let horizon = ExperimentScale {
+        ios_per_workload: scale.ios_per_workload * ARRAY_SKEW_FIGURE_IOS_FACTOR,
+        ..*scale
+    };
+    array_skew_metrics(&horizon, label, kind)
 }
 
 /// array-skew: hot-shard imbalance on a 4-device array — clustered offsets
 /// against coarse 4 MB stripes concentrate bursts on one shard at a time,
-/// vs. the same burst shape spread uniformly.
+/// vs. the same burst shape spread uniformly, vs. the same hot shard with
+/// the adaptive rebalancer migrating stripes off the hot device.
 fn array_skew(scale: &ExperimentScale) -> Vec<ScenarioCell> {
-    let variants = ["uniform", "hot-shard"];
+    let variants = ["uniform", "hot-shard", "hot-shard-rebalance"];
     let cells: Vec<(&str, SchedulerKind)> = variants
         .into_iter()
         .flat_map(|label| SCHEDULERS.iter().map(move |&kind| (label, kind)))
@@ -382,6 +448,195 @@ fn array_skew(scale: &ExperimentScale) -> Vec<ScenarioCell> {
         label: label.to_string(),
         scheduler: kind,
         metrics: array_skew_metrics(scale, label, kind).summary_run_metrics(),
+    })
+}
+
+/// Shape of a deterministic "modular hot set" workload (see
+/// [`modular_hot_trace`]).
+struct HotSetSpec {
+    /// Stripe size the offsets are laid out against.
+    stripe_bytes: u64,
+    /// Array width the hot residue is chosen against.
+    width: u64,
+    /// Hot stripe indices are `residue + width * k` — all the same device
+    /// under chunked round-robin.
+    residue: u64,
+    /// Number of stripes in the hot set.
+    hot_stripes: u64,
+    /// Total logical stripes (the footprint).
+    total_stripes: u64,
+    /// Percent of requests aimed at the hot set (0 = uniform workload).
+    hot_percent: u64,
+    /// Bytes of each hot stripe the hot requests cluster within.
+    hot_span: u64,
+    /// Fixed request size.
+    request_bytes: u64,
+}
+
+/// A deterministic "modular hot set" trace: `hot_percent` of the requests
+/// cycle through `hot_stripes` stripe indices that are all ≡ `residue`
+/// (mod `width`), so chunked round-robin deals every hot stripe to the same
+/// device and no *static* layout can spread the heat — only the placement
+/// indirection can.  The rest of the requests scatter uniformly over
+/// `total_stripes` stripes.  Arrivals outpace any single device, so the
+/// replay is completion-bound and imbalance shows up directly as elapsed
+/// time (and therefore bandwidth).
+fn modular_hot_trace(name: &str, records: u64, seed: u64, spec: &HotSetSpec) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let out: Vec<TraceRecord> = (0..records)
+        .map(|i| {
+            let (stripe, span) = if rng.next_u64() % 100 < spec.hot_percent {
+                (
+                    spec.residue + spec.width * (rng.next_u64() % spec.hot_stripes),
+                    spec.hot_span,
+                )
+            } else {
+                (rng.next_u64() % spec.total_stripes, spec.stripe_bytes)
+            };
+            let slots = span / spec.request_bytes;
+            TraceRecord {
+                id: i,
+                arrival: SimTime::from_micros(i * 20),
+                op: if rng.next_u64().is_multiple_of(4) {
+                    TraceOp::Write
+                } else {
+                    TraceOp::Read
+                },
+                offset: stripe * spec.stripe_bytes + (rng.next_u64() % slots) * spec.request_bytes,
+                bytes: spec.request_bytes,
+            }
+        })
+        .collect();
+    Trace::new(name, out)
+}
+
+/// Stripes in the modular-hot-set scenarios: 256 KB keeps a migration's copy
+/// bill (two ~512 KB device transfers) small next to the payload.
+const ARRAY_REBALANCE_STRIPE_KB: u64 = 256;
+
+/// Logical stripes the modular hot set scatters over (64 MB of footprint).
+const ARRAY_REBALANCE_TOTAL_STRIPES: u64 = 256;
+
+/// Hot stripes in the modular hot set.
+const ARRAY_REBALANCE_HOT_STRIPES: u64 = 8;
+
+/// The rebalance tuning for the modular-hot-set scenarios: cheap 256 KB
+/// stripes afford a budget wide enough to re-home the whole hot set.
+fn array_rebalance_tuning() -> RebalanceConfig {
+    RebalanceConfig {
+        window_records: 16,
+        decay: 0.5,
+        trigger_ratio: 1.2,
+        max_migrations_per_window: 2,
+        max_total_migrations: 12,
+    }
+}
+
+/// One array-rebalance cell: the modular hot set (every hot stripe on device
+/// 0 under round-robin) replayed `"static"` or `"adaptive"`.  Public so the
+/// bench target and the baseline gate time and check exactly the cells the
+/// scenario runs.
+pub fn array_rebalance_metrics(
+    scale: &ExperimentScale,
+    label: &str,
+    kind: SchedulerKind,
+) -> ArrayMetrics {
+    let stripe_bytes = ARRAY_REBALANCE_STRIPE_KB * 1024;
+    let mut config =
+        ArrayConfig::new(scenario_config(scale).with_chip_count(ARRAY_CHIP_BUDGET / 4))
+            .with_devices(4)
+            .with_stripe_kb(ARRAY_REBALANCE_STRIPE_KB);
+    if label == "adaptive" {
+        config = config.with_rebalance(array_rebalance_tuning());
+    }
+    let trace = modular_hot_trace(
+        "modular-hot",
+        scale.ios_per_workload,
+        0xC1A0,
+        &HotSetSpec {
+            stripe_bytes,
+            width: 4,
+            residue: 0,
+            hot_stripes: ARRAY_REBALANCE_HOT_STRIPES,
+            total_stripes: ARRAY_REBALANCE_TOTAL_STRIPES,
+            hot_percent: 75,
+            hot_span: stripe_bytes,
+            request_bytes: 64 * 1024,
+        },
+    );
+    run_array(&config, kind, &mut trace.source()).expect("the modular hot set fits the array")
+}
+
+/// array-rebalance: the adaptive placement layer against its adversarial
+/// best case — a hot set round-robin provably cannot spread (every hot
+/// stripe ≡ 0 mod width lands on device 0), static vs adaptive.
+fn array_rebalance(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let variants = ["static", "adaptive"];
+    let cells: Vec<(&str, SchedulerKind)> = variants
+        .into_iter()
+        .flat_map(|label| SCHEDULERS.iter().map(move |&kind| (label, kind)))
+        .collect();
+    run_cells(&cells, |&(label, kind)| ScenarioCell {
+        label: label.to_string(),
+        scheduler: kind,
+        metrics: array_rebalance_metrics(scale, label, kind).summary_run_metrics(),
+    })
+}
+
+/// Chip counts of the heterogeneous array's devices (the fixed
+/// [`ARRAY_CHIP_BUDGET`], split unevenly).
+pub const ARRAY_HETERO_CHIPS: [usize; 4] = [32, 16, 8, 8];
+
+/// One array-hetero cell: the same modular hot set, but dealt (residue 2) to
+/// an 8-chip device of a 32/16/8/8-chip array.  Static round-robin pins the
+/// hot set to the weakest device; the weight-aware rebalancer migrates it
+/// toward spare capability.  Public for the baseline gate and tests.
+pub fn array_hetero_metrics(
+    scale: &ExperimentScale,
+    label: &str,
+    kind: SchedulerKind,
+) -> ArrayMetrics {
+    let stripe_bytes = ARRAY_REBALANCE_STRIPE_KB * 1024;
+    let base = scenario_config(scale);
+    let devices = ARRAY_HETERO_CHIPS
+        .iter()
+        .map(|&chips| base.clone().with_chip_count(chips))
+        .collect();
+    let mut config = ArrayConfig::heterogeneous(devices).with_stripe_kb(ARRAY_REBALANCE_STRIPE_KB);
+    if label == "adaptive" {
+        config = config.with_rebalance(array_rebalance_tuning());
+    }
+    let trace = modular_hot_trace(
+        "hetero-hot",
+        scale.ios_per_workload,
+        0x4E70,
+        &HotSetSpec {
+            stripe_bytes,
+            width: 4,
+            residue: 2,
+            hot_stripes: ARRAY_REBALANCE_HOT_STRIPES,
+            total_stripes: ARRAY_REBALANCE_TOTAL_STRIPES,
+            hot_percent: 75,
+            hot_span: stripe_bytes,
+            request_bytes: 64 * 1024,
+        },
+    );
+    run_array(&config, kind, &mut trace.source()).expect("the hetero hot set fits the array")
+}
+
+/// array-hetero: heterogeneous devices under a hot set that round-robin
+/// deals to a small device — does weight-aware migration convert spare
+/// big-device capability into aggregate bandwidth?
+fn array_hetero(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let variants = ["static", "adaptive"];
+    let cells: Vec<(&str, SchedulerKind)> = variants
+        .into_iter()
+        .flat_map(|label| SCHEDULERS.iter().map(move |&kind| (label, kind)))
+        .collect();
+    run_cells(&cells, |&(label, kind)| ScenarioCell {
+        label: label.to_string(),
+        scheduler: kind,
+        metrics: array_hetero_metrics(scale, label, kind).summary_run_metrics(),
     })
 }
 
@@ -508,10 +763,96 @@ mod tests {
                 "{kind}: the hot shard must cost aggregate bandwidth"
             );
         }
-        // The registry serves both variants as cells.
+        // The registry serves all three variants as cells.
         let outcome = run("array-skew", &scale).unwrap();
-        assert_eq!(outcome.cells.len(), 4);
+        assert_eq!(outcome.cells.len(), 3 * SCHEDULERS.len());
         assert!(outcome.cell("hot-shard", SchedulerKind::Spk3).is_some());
+        assert!(outcome
+            .cell("hot-shard-rebalance", SchedulerKind::Spk3)
+            .is_some());
+    }
+
+    /// The acceptance bar from the roadmap, pinned for every scheduler at the
+    /// figure horizon: the rebalancer must recover at least half of the hot
+    /// shard's bandwidth cost *and* bring I/O imbalance back under 1.2×, and
+    /// it must do so by actually migrating stripes rather than by the workload
+    /// happening to spread itself.
+    #[test]
+    fn array_skew_rebalancer_wins_the_acceptance_targets() {
+        let scale = ExperimentScale::quick();
+        for kind in SCHEDULERS {
+            let uniform = array_skew_figure_metrics(&scale, "uniform", kind);
+            let hot = array_skew_figure_metrics(&scale, "hot-shard", kind);
+            let rebalanced = array_skew_figure_metrics(&scale, "hot-shard-rebalance", kind);
+            assert!(rebalanced.stripes_migrated > 0, "{kind}: no migrations");
+            let midpoint = (uniform.bandwidth_kb_per_sec + hot.bandwidth_kb_per_sec) / 2.0;
+            assert!(
+                rebalanced.bandwidth_kb_per_sec >= midpoint,
+                "{kind}: recovered less than half the bandwidth gap \
+                 (uniform {:.0}, hot {:.0}, rebalanced {:.0})",
+                uniform.bandwidth_kb_per_sec,
+                hot.bandwidth_kb_per_sec,
+                rebalanced.bandwidth_kb_per_sec
+            );
+            assert!(
+                rebalanced.skew.io_imbalance <= 1.2,
+                "{kind}: imbalance stayed at {:.3} (hot shard was {:.3})",
+                rebalanced.skew.io_imbalance,
+                hot.skew.io_imbalance
+            );
+        }
+    }
+
+    /// On the modular hot set — every hot stripe dealt to the same device by
+    /// chunked round-robin — only placement indirection can spread the load,
+    /// so the adaptive variant must beat static striping on both bandwidth
+    /// and balance for every scheduler.
+    #[test]
+    fn array_rebalance_adaptive_beats_static() {
+        let scale = ExperimentScale::quick();
+        for kind in SCHEDULERS {
+            let stat = array_rebalance_metrics(&scale, "static", kind);
+            let adaptive = array_rebalance_metrics(&scale, "adaptive", kind);
+            assert_eq!(stat.stripes_migrated, 0, "{kind}");
+            assert!(adaptive.stripes_migrated > 0, "{kind}: no migrations");
+            assert!(
+                adaptive.bandwidth_kb_per_sec > stat.bandwidth_kb_per_sec,
+                "{kind}: adaptive {:.0} did not beat static {:.0}",
+                adaptive.bandwidth_kb_per_sec,
+                stat.bandwidth_kb_per_sec
+            );
+            assert!(
+                adaptive.skew.io_imbalance < stat.skew.io_imbalance,
+                "{kind}: imbalance {:.3} did not improve on {:.3}",
+                adaptive.skew.io_imbalance,
+                stat.skew.io_imbalance
+            );
+        }
+    }
+
+    /// Heterogeneous devices: the hot set lands on an 8-chip device, and the
+    /// weight-aware rebalancer must shed it toward the larger devices —
+    /// improving both weighted imbalance and aggregate bandwidth.
+    #[test]
+    fn array_hetero_adaptive_restores_weighted_balance() {
+        let scale = ExperimentScale::quick();
+        for kind in SCHEDULERS {
+            let stat = array_hetero_metrics(&scale, "static", kind);
+            let adaptive = array_hetero_metrics(&scale, "adaptive", kind);
+            assert!(adaptive.stripes_migrated > 0, "{kind}: no migrations");
+            assert!(
+                adaptive.skew.weighted_io_imbalance < stat.skew.weighted_io_imbalance,
+                "{kind}: weighted imbalance {:.3} did not improve on {:.3}",
+                adaptive.skew.weighted_io_imbalance,
+                stat.skew.weighted_io_imbalance
+            );
+            assert!(
+                adaptive.bandwidth_kb_per_sec > stat.bandwidth_kb_per_sec,
+                "{kind}: adaptive {:.0} did not beat static {:.0}",
+                adaptive.bandwidth_kb_per_sec,
+                stat.bandwidth_kb_per_sec
+            );
+        }
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub struct TelemetryCounters {
     /// Streaming-ingestion stalls: a request was due but the bounded backlog
     /// was full, so the replay loop drained events instead.
     pub stream_stalls: AtomicU64,
+    /// Stripes migrated between devices by the array placement rebalancer.
+    pub stripes_migrated: AtomicU64,
+    /// Bytes of stripe payload relocated by migrations (one stripe's worth
+    /// per migration; the injected device traffic is twice this — a read on
+    /// the source plus a write on the target).
+    pub migration_bytes: AtomicU64,
+    /// EWMA decay passes applied to the per-stripe heat table (one per
+    /// rebalance window).
+    pub heat_decays: AtomicU64,
 }
 
 impl TelemetryCounters {
@@ -67,6 +76,9 @@ impl TelemetryCounters {
             ledger_headroom_exhausted: self.ledger_headroom_exhausted.load(Ordering::Relaxed),
             stream_admissions: self.stream_admissions.load(Ordering::Relaxed),
             stream_stalls: self.stream_stalls.load(Ordering::Relaxed),
+            stripes_migrated: self.stripes_migrated.load(Ordering::Relaxed),
+            migration_bytes: self.migration_bytes.load(Ordering::Relaxed),
+            heat_decays: self.heat_decays.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +101,13 @@ pub struct TelemetrySnapshot {
     pub stream_admissions: u64,
     /// Streaming-ingestion stalls against the bounded backlog.
     pub stream_stalls: u64,
+    /// Stripes migrated between devices by the array placement rebalancer.
+    pub stripes_migrated: u64,
+    /// Bytes of stripe payload relocated by migrations (half the injected
+    /// device traffic: each migration is a stripe read plus a stripe write).
+    pub migration_bytes: u64,
+    /// EWMA decay passes applied to the per-stripe heat table.
+    pub heat_decays: u64,
 }
 
 impl TelemetrySnapshot {
@@ -104,6 +123,9 @@ impl TelemetrySnapshot {
                 + other.ledger_headroom_exhausted,
             stream_admissions: self.stream_admissions + other.stream_admissions,
             stream_stalls: self.stream_stalls + other.stream_stalls,
+            stripes_migrated: self.stripes_migrated + other.stripes_migrated,
+            migration_bytes: self.migration_bytes + other.migration_bytes,
+            heat_decays: self.heat_decays + other.heat_decays,
         }
     }
 }

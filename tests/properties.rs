@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
-use sprinkler::array::{StripeMap, StripedFanout};
+use sprinkler::array::{PlacementMap, StripeMap, StripedFanout};
 use sprinkler::core::reference::ReferenceScheduler;
 use sprinkler::core::SchedulerKind;
 use sprinkler::experiments::to_host_requests;
@@ -578,5 +578,74 @@ proptest! {
             }
         }
         prop_assert_eq!(total, expected, "fanout must preserve byte totals");
+    }
+
+    /// Arbitrary migration sequences preserve the placement layer's
+    /// bijection: after any sequence of (stripe, target-device) migration
+    /// attempts, `locate_lpn` still round-trips through `lpn_to_global` for
+    /// every page of the footprint, distinct LPNs never collide on the same
+    /// (device, local LPN) pair, every placed stripe stays within its
+    /// device's slot cap, and the internal forward/occupancy tables agree.
+    #[test]
+    fn migration_sequences_preserve_the_placement_bijection(
+        devices in 2usize..6,
+        stripe_pages in 1u64..16,
+        total_stripes in 1u64..48,
+        moves in proptest::collection::vec((0u64..48, 0usize..6), 0..64),
+        slot_slack in 0u64..8,
+    ) {
+        let page = 2048u64;
+        let stripe_bytes = stripe_pages * page;
+        // Tight slot caps: just enough for the round-robin image plus a
+        // little slack, so migrations regularly hit full devices and the
+        // refusal path gets exercised alongside the happy path.
+        let base_slots = total_stripes.div_ceil(devices as u64);
+        let caps = vec![base_slots + slot_slack; devices];
+        let mut placement = PlacementMap::round_robin(
+            devices, stripe_bytes, total_stripes, caps.clone());
+        let mut applied = 0u64;
+        for (stripe, target) in moves {
+            let stripe = stripe % total_stripes.max(1);
+            let target = target % devices;
+            if let Some(m) = placement.migrate(stripe, target) {
+                prop_assert_eq!(m.stripe, stripe);
+                prop_assert_eq!(m.to_device, target);
+                prop_assert!(m.from_device != target, "no-op moves must be refused");
+                prop_assert!(m.to_slot < caps[target], "slot cap must contain the move");
+                applied += 1;
+            }
+            placement.validate_tables();
+        }
+        // Full bijection sweep over the footprint's pages.
+        let footprint_pages = total_stripes * stripe_pages;
+        let mut seen = std::collections::HashSet::new();
+        for lpn in 0..footprint_pages {
+            let (device, local) = placement.locate_lpn(lpn, page);
+            prop_assert!(device < devices);
+            prop_assert_eq!(
+                placement.lpn_to_global(device, local, page),
+                lpn,
+                "LPN map must round-trip after {} migrations", applied
+            );
+            prop_assert!(
+                seen.insert((device, local)),
+                "distinct LPNs must never collide after migrations"
+            );
+            // Containment: the local page stays below the device's
+            // ever-occupied frontier (the adaptive fanout's footprint bound).
+            prop_assert!((local + 1) * page <= placement.local_slot_bound(device));
+        }
+        // And splits stay loss-free under the migrated placement.
+        let record = sprinkler::workloads::TraceRecord {
+            id: 0,
+            arrival: SimTime::ZERO,
+            op: sprinkler::workloads::TraceOp::Write,
+            offset: 0,
+            bytes: footprint_pages * page,
+        };
+        let mut fragments = Vec::new();
+        placement.split_into(&record, &mut fragments);
+        let total: u64 = fragments.iter().map(|f| f.bytes).sum();
+        prop_assert_eq!(total, record.bytes, "split must preserve byte totals");
     }
 }
