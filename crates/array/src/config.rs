@@ -76,11 +76,11 @@ impl ArrayConfig {
     ///
     /// Panics when the device list is empty (no template to replicate).
     pub fn with_devices(mut self, devices: usize) -> Self {
-        let template = self
-            .devices
-            .first()
-            .cloned()
-            .expect("with_devices needs a first device to replicate");
+        assert!(
+            !self.devices.is_empty(),
+            "with_devices needs a first device to replicate"
+        );
+        let template = self.devices[0].clone();
         self.devices = vec![template; devices];
         self
     }

@@ -130,6 +130,12 @@ pub struct ArrayMetrics {
     pub skew: DeviceSkew,
     /// High-water mark of fragments buffered in the fanout while devices
     /// replayed at different positions.
+    ///
+    /// This is a *host-side* measurement: it depends on how the OS
+    /// interleaves the pump and device threads, so it varies between
+    /// otherwise identical runs.  Every other field in this struct is
+    /// deterministic simulated output (`tests/determinism.rs` enforces
+    /// this by full-struct equality with only this field normalized).
     pub peak_fanout_buffered: u64,
     /// Stripes the adaptive placement layer migrated between devices (0 with
     /// the rebalancer off).

@@ -142,7 +142,7 @@ pub fn run_array(
     // One scoped worker per device (the validated width is small): every
     // sub-source must drain concurrently, otherwise a parked device's
     // fragments would accumulate in the fanout for the whole replay.
-    let mut metrics: Vec<RunMetrics> = Vec::with_capacity(devices);
+    let mut results: Vec<Result<RunMetrics, String>> = Vec::with_capacity(devices);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..devices)
             .map(|device| {
@@ -150,19 +150,30 @@ pub fn run_array(
                 scope.spawn(move || {
                     let device_config = config.device(device).clone();
                     let page_size = device_config.page_size();
-                    let ssd = Ssd::new(device_config, kind.build())
-                        .expect("validated array device config must build");
-                    ssd.run_stream(DeviceRequestStream {
+                    let ssd = Ssd::new(device_config, kind.build())?;
+                    Ok(ssd.run_stream(DeviceRequestStream {
                         source: fanout.device_source(device),
                         page_size,
-                    })
+                    }))
                 })
             })
             .collect();
         for handle in handles {
-            metrics.push(handle.join().expect("array device replay panicked"));
+            // A panicked device thread re-raises its original panic here; a
+            // config that fails to build (should be impossible after
+            // `config.validate()` above) surfaces as an ArrayError instead of
+            // a panic.
+            results.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
         }
     });
+    let metrics = results
+        .into_iter()
+        .collect::<Result<Vec<RunMetrics>, String>>()
+        .map_err(ArrayError::InvalidConfig)?;
     let peak = fanout.peak_buffered() as u64;
     let placement_stats = fanout.placement_stats();
     Ok(ArrayMetrics::merge_with(

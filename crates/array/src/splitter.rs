@@ -273,6 +273,16 @@ impl<'a> StripedFanout<'a> {
         self
     }
 
+    /// Locks the shared fanout state, recovering from poison: the queue
+    /// bookkeeping stays structurally valid if a device thread panicked
+    /// mid-replay, and the panic itself is re-raised when the replay joins
+    /// that thread — propagating it here would only mask the original.
+    fn state(&self) -> std::sync::MutexGuard<'_, FanoutInner<'a>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The static striping geometry (devices and stripe size).  On adaptive
     /// fanouts this is the *initial* layout only; see
     /// [`StripedFanout::placement`] for the live table.
@@ -283,9 +293,7 @@ impl<'a> StripedFanout<'a> {
     /// A snapshot of the current placement table on adaptive fanouts, `None`
     /// on static ones.
     pub fn placement(&self) -> Option<PlacementMap> {
-        self.inner
-            .lock()
-            .expect("fanout lock poisoned")
+        self.state()
             .adaptive
             .as_ref()
             .map(|state| state.placement.clone())
@@ -293,9 +301,7 @@ impl<'a> StripedFanout<'a> {
 
     /// The placement layer's counters so far: zero on static fanouts.
     pub fn placement_stats(&self) -> PlacementStats {
-        self.inner
-            .lock()
-            .expect("fanout lock poisoned")
+        self.state()
             .adaptive
             .as_ref()
             .map(|state| state.rebalancer.stats)
@@ -315,10 +321,7 @@ impl<'a> StripedFanout<'a> {
     /// High-water mark of fragments buffered across all devices — the memory
     /// cost of replay-position skew between devices.
     pub fn peak_buffered(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("fanout lock poisoned")
-            .peak_buffered
+        self.state().peak_buffered
     }
 }
 
@@ -339,7 +342,7 @@ impl TraceSource for DeviceSource<'_, '_> {
     }
 
     fn next_record(&mut self) -> Option<TraceRecord> {
-        let mut inner = self.fanout.inner.lock().expect("fanout lock poisoned");
+        let mut inner = self.fanout.state();
         loop {
             if let Some(record) = inner.queues[self.device].pop_front() {
                 inner.buffered -= 1;
@@ -359,7 +362,7 @@ impl TraceSource for DeviceSource<'_, '_> {
                     .fanout
                     .drained
                     .wait_timeout(inner, std::time::Duration::from_millis(50))
-                    .expect("fanout lock poisoned");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 inner = guard;
                 continue;
             }

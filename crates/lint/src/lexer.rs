@@ -1,0 +1,551 @@
+//! A hand-rolled, token-level Rust lexer.
+//!
+//! The linter's rules are textual invariants ("no `HashMap` in hot-path
+//! modules", "no `.unwrap()` outside tests"), so full parsing is overkill —
+//! but plain `grep` is not enough either: `HashMap` inside a string literal,
+//! `unsafe` inside a comment, or `unwrap` inside a doc-test must never
+//! trigger.  This lexer produces a token stream with comments and literals
+//! handled correctly, then a second pass annotates each token with the
+//! regions the rules care about: `#[cfg(test)]`/`#[test]` items and
+//! `// lint: hot-path` tagged functions.
+//!
+//! Handled forms: line and (nested) block comments, doc comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//! byte strings and byte chars, char literals vs. lifetimes, raw identifiers
+//! (`r#match`), numeric literals (with float detection for the `no-float-eq`
+//! rule), and two-character operators (`==`, `!=`, `::`, …).
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// Punctuation; two-char operators are fused (`::`, `==`, `!=`, `->`).
+    Punct,
+    /// String literal of any flavor (plain, raw, byte). Text is the raw body.
+    Str,
+    /// Char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal that is *not* a float.
+    Int,
+    /// Numeric literal that is a float (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A `// lint: …` marker comment; text is the directive (`hot-path`).
+    Marker,
+}
+
+/// One token with its source line and region annotations.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The token text (identifier name, operator, literal body).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when the token sits inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+    /// True when the token sits inside a `// lint: hot-path` tagged function.
+    pub in_hot: bool,
+}
+
+/// Lexes `src` and annotates test/hot-path regions.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = raw_lex(src);
+    annotate_regions(&mut toks);
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn raw_lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => lex_line_comment(&mut cur, &mut out),
+            '/' if cur.peek(1) == Some('*') => lex_block_comment(&mut cur),
+            '"' => lex_string(&mut cur, &mut out, line),
+            '\'' => lex_char_or_lifetime(&mut cur, &mut out, line),
+            'r' | 'b' if starts_prefixed_literal(&cur) => {
+                lex_prefixed_literal(&mut cur, &mut out, line)
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(tok(TokKind::Ident, text, line));
+            }
+            c if c.is_ascii_digit() => lex_number(&mut cur, &mut out, line),
+            _ => lex_punct(&mut cur, &mut out, line),
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: String, line: u32) -> Tok {
+    Tok {
+        kind,
+        text,
+        line,
+        in_test: false,
+        in_hot: false,
+    }
+}
+
+/// Line comments are skipped — unless they are `// lint: <directive>` markers,
+/// which surface as [`TokKind::Marker`] tokens.  Doc comments (`///`, `//!`)
+/// are comments too, so doc-test code never reaches the rules.
+fn lex_line_comment(cur: &mut Cursor, out: &mut Vec<Tok>) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    let body = text.trim_start_matches('/').trim_start_matches('!').trim();
+    if let Some(directive) = body.strip_prefix("lint:") {
+        out.push(tok(TokKind::Marker, directive.trim().to_string(), line));
+    }
+}
+
+/// Block comments nest in Rust; track the depth.
+fn lex_block_comment(cur: &mut Cursor) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32) {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => {
+                cur.bump();
+                cur.bump(); // the escaped char (escapes never end the literal)
+            }
+            '"' => {
+                cur.bump();
+                break;
+            }
+            c => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    out.push(tok(TokKind::Str, text, line));
+}
+
+/// `'a'` is a char literal, `'a` is a lifetime.  Disambiguation: a backslash
+/// after the quote is always a char escape; otherwise it is a char literal
+/// exactly when the character *after the next one* is the closing quote.
+fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32) {
+    cur.bump(); // opening quote
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            let mut text = String::new();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            out.push(tok(TokKind::Char, text, line));
+        }
+        Some(c) if cur.peek(1) == Some('\'') => {
+            cur.bump();
+            cur.bump();
+            out.push(tok(TokKind::Char, c.to_string(), line));
+        }
+        Some(c) if is_ident_start(c) => {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(tok(TokKind::Lifetime, text, line));
+        }
+        _ => {
+            cur.bump();
+        }
+    }
+}
+
+/// Whether the cursor sits at `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`,
+/// or `b'…'` — anything where `r`/`b` prefixes a literal rather than starting
+/// a plain identifier.
+fn starts_prefixed_literal(cur: &Cursor) -> bool {
+    let mut j = 1;
+    if cur.peek(0) == Some('b') {
+        match cur.peek(1) {
+            Some('\'') | Some('"') => return true,
+            Some('r') => j = 2,
+            _ => return false,
+        }
+    }
+    let mut k = j;
+    while cur.peek(k) == Some('#') {
+        k += 1;
+    }
+    // `r#"…"` is a raw string; `r#ident` (k == j + 1, no quote) is a raw
+    // identifier; bare `r` followed by ident chars is a plain identifier.
+    cur.peek(k) == Some('"') && (k > j || cur.peek(j) == Some('"'))
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32) {
+    if cur.peek(0) == Some('b') && cur.peek(1) == Some('\'') {
+        cur.bump(); // b
+        lex_char_or_lifetime(cur, out, line);
+        return;
+    }
+    // Consume the prefix letters.
+    while matches!(cur.peek(0), Some('b') | Some('r')) {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        // Raw identifier (`r#match`): emit the identifier itself.
+        let mut text = String::new();
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        out.push(tok(TokKind::Ident, text, line));
+        return;
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    if hashes == 0 {
+        // Raw string without hashes: ends at the first quote, no escapes.
+        while let Some(c) = cur.bump() {
+            if c == '"' {
+                break;
+            }
+            text.push(c);
+        }
+    } else {
+        // Ends at `"` followed by `hashes` consecutive `#`s.
+        'outer: while let Some(c) = cur.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break 'outer;
+                }
+                text.push('"');
+                for _ in 0..seen {
+                    text.push('#');
+                }
+                continue;
+            }
+            text.push(c);
+        }
+    }
+    out.push(tok(TokKind::Str, text, line));
+}
+
+fn lex_number(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32) {
+    let mut text = String::new();
+    let mut is_float = false;
+    let radix_prefix = cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('X') | Some('o') | Some('b'));
+    if radix_prefix {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        out.push(tok(TokKind::Int, text, line));
+        return;
+    }
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part — but `0..5` is a range and `1.max(2)` a method call.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    let kind = if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    };
+    out.push(tok(kind, text, line));
+}
+
+fn lex_punct(cur: &mut Cursor, out: &mut Vec<Tok>, line: u32) {
+    let c = cur.bump().unwrap_or(' ');
+    let fused = match (c, cur.peek(0)) {
+        (':', Some(':')) => Some("::"),
+        ('=', Some('=')) => Some("=="),
+        ('!', Some('=')) => Some("!="),
+        ('<', Some('=')) => Some("<="),
+        ('>', Some('=')) => Some(">="),
+        ('-', Some('>')) => Some("->"),
+        ('=', Some('>')) => Some("=>"),
+        ('&', Some('&')) => Some("&&"),
+        ('|', Some('|')) => Some("||"),
+        _ => None,
+    };
+    if let Some(two) = fused {
+        cur.bump();
+        out.push(tok(TokKind::Punct, two.to_string(), line));
+    } else {
+        out.push(tok(TokKind::Punct, c.to_string(), line));
+    }
+}
+
+/// Marks `in_test` for tokens under `#[cfg(test)]`/`#[test]` items and
+/// `in_hot` for tokens inside `// lint: hot-path` tagged functions.
+///
+/// Region extent: from the attribute (or marker), forward through any further
+/// attributes, to the end of the next item — the matching `}` of its first
+/// brace block, or a `;` at zero bracket depth for braceless items
+/// (`use`, `type`, …).
+///
+/// Known limitation, by design: an attribute is treated as a test attribute
+/// when it mentions `test` and does not mention `not` — `#[cfg(any(test,
+/// feature = "x"))]` is covered, `#[cfg(not(test))]` correctly is not, and
+/// exotic nestings of both fall back to "not a test region".
+fn annotate_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Marker && toks[i].text == "hot-path" {
+            if let Some(end) = hot_fn_end(toks, i + 1) {
+                for t in toks.iter_mut().take(end).skip(i) {
+                    t.in_hot = true;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            let attr_end = matching_bracket(toks, i + 1);
+            let is_test = {
+                let attr = &toks[i + 2..attr_end.min(toks.len())];
+                let mentions = |name: &str| {
+                    attr.iter()
+                        .any(|t| t.kind == TokKind::Ident && t.text == name)
+                };
+                mentions("test") && !mentions("not")
+            };
+            if is_test {
+                if let Some(end) = item_end(toks, attr_end + 1) {
+                    for t in toks.iter_mut().take(end).skip(i) {
+                        t.in_test = true;
+                    }
+                    // Continue scanning *inside* the region so nested
+                    // hot-path markers still annotate, but the test flag
+                    // is already set; just move past the attribute.
+                }
+            }
+            i = attr_end.saturating_add(1).max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index just past the `]` matching the `[` at `open`.
+fn matching_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Index just past the end of the item starting at `from`: skips further
+/// attributes, then ends at the matching `}` of the first brace block or at a
+/// top-level `;`.
+fn item_end(toks: &[Tok], mut from: usize) -> Option<usize> {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(...)] mod tests {`).
+    while from + 1 < toks.len() && toks[from].text == "#" && toks[from + 1].text == "[" {
+        from = matching_bracket(toks, from + 1) + 1;
+    }
+    let mut paren = 0isize;
+    let mut brace = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            "{" => brace += 1,
+            "}" => {
+                brace -= 1;
+                if brace == 0 {
+                    return Some(j + 1);
+                }
+            }
+            ";" if brace == 0 && paren == 0 => return Some(j + 1),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// End of the `fn` item following a `// lint: hot-path` marker.
+fn hot_fn_end(toks: &[Tok], from: usize) -> Option<usize> {
+    let fn_at = toks
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, t)| t.kind == TokKind::Ident && t.text == "fn")
+        .map(|(j, _)| j)?;
+    item_end(toks, fn_at)
+}

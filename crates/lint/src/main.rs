@@ -1,0 +1,109 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run --release -p sprinkler_lint              # lint the workspace
+//! cargo run -p sprinkler_lint -- --list              # rule table
+//! cargo run -p sprinkler_lint -- --explain no-unwrap # one rule in depth
+//! cargo run -p sprinkler_lint -- --root <dir>        # lint another tree
+//! ```
+//!
+//! Violations print `file:line: rule-id: message` and the process exits 1;
+//! config/IO errors exit 2; a clean tree prints a one-line summary and
+//! exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sprinkler_lint::{lint_workspace, rule_info, Manifest, RuleSet, RULES};
+
+fn usage() -> &'static str {
+    "usage: sprinkler_lint [--root <dir>] [--config <lint.toml>] [--list] [--explain <rule-id>]"
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("sprinkler_lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+    let mut list = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        format!("--root needs a directory\n{}", usage())
+                    })?));
+            }
+            "--config" => {
+                config =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        format!("--config needs a file\n{}", usage())
+                    })?));
+            }
+            "--explain" => {
+                explain = Some(argv.next().ok_or_else(|| {
+                    format!("--explain needs a rule id (try --list)\n{}", usage())
+                })?);
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+
+    if list {
+        for rule in RULES {
+            println!("{:<22} {}", rule.id, rule.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(id) = explain {
+        let Some(rule) = rule_info(&id) else {
+            return Err(format!("unknown rule `{id}` (try --list)"));
+        };
+        println!("{} — {}\n\n{}", rule.id, rule.summary, rule.explain);
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Default root: the workspace that contains this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    let config = config.unwrap_or_else(|| root.join("crates").join("lint").join("lint.toml"));
+
+    let text = std::fs::read_to_string(&config)
+        .map_err(|e| format!("read config {}: {e}", config.display()))?;
+    let manifest = Manifest::parse(&text)?;
+    let rules = RuleSet::from_manifest(&manifest)?;
+
+    let violations = lint_workspace(&root, &rules)?;
+    if violations.is_empty() {
+        println!("sprinkler_lint: workspace clean ({} rules)", RULES.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!(
+        "sprinkler_lint: {} violation(s); `cargo run -p sprinkler_lint -- --explain <rule-id>` \
+         explains a rule",
+        violations.len()
+    );
+    Ok(ExitCode::FAILURE)
+}

@@ -193,6 +193,7 @@ impl CandidateIndex {
     }
 
     /// Inserts one candidate row.  `(seq, pri)` must be unique per chip.
+    // lint: hot-path
     pub fn insert(&mut self, chip: usize, seq: u64, pri: u32, lpn: u64, slot: u32) {
         if chip >= self.extents.len() {
             self.extents.resize(chip + 1, Extent::default());
@@ -233,6 +234,7 @@ impl CandidateIndex {
 
     /// Removes one candidate row.  Missing rows are tolerated (mirrors the
     /// sorted-vector index this replaces).
+    // lint: hot-path
     pub fn remove(&mut self, chip: usize, seq: u64, pri: u32) {
         let Some(&ext) = self.extents.get(chip) else {
             return;

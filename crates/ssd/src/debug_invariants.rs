@@ -1,0 +1,140 @@
+//! Deep debug-mode invariant validation across the scheduler's shared state.
+//!
+//! [`DeviceQueue::validate_candidate_index`] checks the queue's *internal*
+//! consistency (slot columns, the direct-mapped tag ring, the columnar
+//! candidate index, the read-hazard counting filter).  This module goes one
+//! layer up and cross-checks the structures that must agree *with each
+//! other* for Sprinkler's chip-level accounting to mean anything:
+//!
+//! - ledger outstanding counts vs the per-tag [`PageBits`] commit/complete
+//!   masks (the ledger is charged exactly once per committed host page and
+//!   credited exactly once per completed one, atomically with the bit flips
+//!   in `Ssd::commit_memory_request` / `Ssd::complete_mem_request`; GC
+//!   requests never touch the ledger);
+//! - the read-LPN hazard entries vs a from-scratch rebuild from the queued
+//!   tag states;
+//! - the FUA reordering-horizon entries vs the queued FUA tags;
+//! - per-tag mask sanity (`completed ⊆ committed`, masks bounded by the
+//!   request's page count) and per-page placements within geometry bounds;
+//! - the ledger's per-round counters and the hard commitment cap.
+//!
+//! Everything here compiles to a no-op in release builds: callers are the
+//! differential property tests and `tests/invariants.rs`, which wrap a
+//! scheduler and validate after every round.
+//!
+//! [`PageBits`]: crate::queue::PageBits
+
+use crate::ledger::CommitmentLedger;
+use crate::queue::DeviceQueue;
+use crate::scheduler::SchedulerContext;
+
+/// Validates every cross-structure invariant visible from a scheduling
+/// context.  Call after a scheduling round (or a completion) in tests; the
+/// body is compiled out in release builds.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert!`) when any invariant is violated — each
+/// message names the structure pair that diverged.
+pub fn validate_context(ctx: &SchedulerContext<'_>) {
+    validate_round(ctx.queue, ctx.ledger);
+}
+
+/// [`validate_context`] for callers holding the queue and ledger directly.
+pub fn validate_round(queue: &DeviceQueue, ledger: &CommitmentLedger) {
+    #[cfg(debug_assertions)]
+    {
+        queue.validate_candidate_index();
+
+        let chips = ledger.chip_count();
+        let mut expected_outstanding = vec![0u32; chips];
+        let mut expected_hazards: Vec<(u64, u64)> = Vec::new();
+        let mut expected_fua: Vec<u64> = Vec::new();
+
+        for state in queue.iter_states() {
+            let pages = state.pages();
+            debug_assert_eq!(
+                state.placements.len(),
+                pages,
+                "tag {:?}: placement table length diverged from the page count",
+                state.id
+            );
+            let mut fully_committed = true;
+            for page in 0..pages as u32 {
+                let committed = state.committed.get(page as usize);
+                let completed = state.completed.get(page as usize);
+                debug_assert!(
+                    committed || !completed,
+                    "tag {:?} page {page}: completed without being committed",
+                    state.id
+                );
+                fully_committed &= committed;
+                let placement = state.placements[page as usize];
+                debug_assert!(
+                    placement.chip < chips,
+                    "tag {:?} page {page}: placement chip {} outside geometry ({chips} chips)",
+                    state.id,
+                    placement.chip
+                );
+                if committed && !completed {
+                    expected_outstanding[placement.chip] += 1;
+                }
+                if state.host.direction.is_read() && !committed {
+                    expected_hazards.push((state.host.lpn_at(page).value(), state.seq));
+                }
+            }
+            if state.host.fua && !fully_committed {
+                expected_fua.push(state.seq);
+            }
+        }
+
+        // Ledger vs PageBits: outstanding commitments per chip must equal the
+        // committed-but-incomplete host pages placed there, exactly.
+        debug_assert_eq!(
+            expected_outstanding,
+            ledger.outstanding_slice(),
+            "ledger outstanding counts diverged from the queue's commit/complete masks"
+        );
+        for chip in 0..chips {
+            debug_assert!(
+                ledger.outstanding(chip) <= ledger.max_committed_per_chip(),
+                "chip {chip}: outstanding {} exceeds the hard cap {}",
+                ledger.outstanding(chip),
+                ledger.max_committed_per_chip()
+            );
+            debug_assert!(
+                ledger.committed_in_round(chip) <= ledger.outstanding(chip),
+                "chip {chip}: this round committed {} but only {} are outstanding",
+                ledger.committed_in_round(chip),
+                ledger.outstanding(chip)
+            );
+        }
+
+        // Hazard entries vs a rebuild: every uncommitted page of a read tag,
+        // keyed (lpn, seq), sorted — the slice behind has_blocking_read.
+        expected_hazards.sort_unstable();
+        debug_assert_eq!(
+            expected_hazards,
+            queue.read_hazards(),
+            "read-LPN hazard entries diverged from the queued tag states"
+        );
+
+        // FUA horizon vs a rebuild: admission seqs of not-fully-committed FUA
+        // tags, ascending; horizon_seq() is its head (or MAX when clear).
+        expected_fua.sort_unstable();
+        debug_assert_eq!(
+            expected_fua,
+            queue.fua_pending(),
+            "FUA horizon entries diverged from the queued tag states"
+        );
+        debug_assert_eq!(
+            queue.horizon_seq(),
+            expected_fua.first().copied().unwrap_or(u64::MAX),
+            "horizon_seq diverged from the first pending FUA entry"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (queue, ledger);
+    }
+}

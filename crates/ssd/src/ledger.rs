@@ -152,12 +152,14 @@ impl CommitmentLedger {
     /// Remaining commit capacity for a chip: the full cap minus `outstanding`.
     /// `outstanding` already reflects same-round commits, so this is the whole
     /// double-count fix — nothing else is charged.
+    // lint: hot-path
     pub fn headroom(&self, chip: usize) -> usize {
         self.max_committed_per_chip
             .saturating_sub(self.outstanding(chip))
     }
 
     /// Opens a new scheduling round: resets the per-round commit counters.
+    // lint: hot-path
     pub fn begin_round(&mut self) {
         for &chip in &self.round_dirty {
             self.round_committed[chip] = 0;
@@ -173,6 +175,7 @@ impl CommitmentLedger {
 
     /// Charges one commitment to a chip.  Must only be called with headroom
     /// available; a call at zero headroom is a scheduler-enforcement bug.
+    // lint: hot-path
     pub fn commit(&mut self, chip: usize) {
         debug_assert!(
             self.headroom(chip) > 0,
@@ -191,6 +194,7 @@ impl CommitmentLedger {
     ///
     /// An unmatched retirement never silently saturates: it trips a debug
     /// assertion, and in release builds the counter is left at zero.
+    // lint: hot-path
     pub fn retire(&mut self, chip: usize) {
         debug_assert!(
             self.outstanding(chip) > 0,

@@ -43,6 +43,7 @@ pub mod cand;
 pub mod channel;
 pub mod config;
 pub mod controller;
+pub mod debug_invariants;
 pub mod dma;
 pub mod error;
 pub mod ftl;
@@ -55,6 +56,7 @@ pub mod ssd;
 
 pub use cand::{pack_pri, pri_die, pri_page, pri_plane, CandidateView};
 pub use config::{AllocationPolicy, GcConfig, SsdConfig};
+pub use debug_invariants::{validate_context, validate_round};
 pub use error::SsdError;
 pub use ledger::{ChipOccupancy, CommitmentLedger};
 pub use metrics::{

@@ -721,6 +721,7 @@ impl DeviceQueue {
 
     /// [`DeviceQueue::commit_page`] through a dense slot handle, skipping the
     /// tag-id lookup.
+    // lint: hot-path
     pub fn commit_page_at(&mut self, slot: u32, page: u32, now: SimTime) -> bool {
         let Some(entry) = self.slots.get_mut(slot as usize) else {
             return false;
@@ -763,6 +764,7 @@ impl DeviceQueue {
     }
 
     /// [`DeviceQueue::complete_page`] through a dense slot handle.
+    // lint: hot-path
     pub fn complete_page_at(&mut self, slot: u32, page: u32) -> bool {
         match self
             .slots
@@ -872,6 +874,7 @@ impl DeviceQueue {
 
     /// Whether a read tag admitted strictly before `seq` still has an uncommitted
     /// read of logical page `lpn` (the §4.4 write-after-read hazard).  O(log n).
+    // lint: hot-path
     pub fn has_blocking_read(&self, lpn: u64, seq: u64) -> bool {
         if self.read_lpn_filter[read_filter_bucket(lpn)] == 0 {
             // No uncommitted read hashes to this bucket: provably unblocked.
@@ -883,6 +886,13 @@ impl DeviceQueue {
         self.read_lpn_index
             .get(pos)
             .is_some_and(|&(l, earliest)| l == lpn && earliest < seq)
+    }
+
+    /// The pending-FUA horizon entries: admission seqs of queued FUA tags not
+    /// yet fully committed, ascending.  Exposed for the debug invariant
+    /// validator; hot paths use [`DeviceQueue::horizon_seq`].
+    pub fn fua_pending(&self) -> &[u64] {
+        &self.fua_pending
     }
 
     /// The raw read-LPN hazard entries, sorted by `(lpn, seq)` — the dense

@@ -85,10 +85,11 @@ impl IoScheduler for RecordingScheduler {
 
     fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, out: &mut Vec<Commitment>) {
         // Debug-build invariant check, exercised on *every* scheduling round of
-        // every property-test replay: the queue's incrementally maintained
-        // columnar (CSR) candidate index must match a from-scratch rebuild from
-        // the tag states.  Compiles to a no-op in release builds.
-        ctx.queue.validate_candidate_index();
+        // every property-test replay: the queue's internal indexes must match a
+        // from-scratch rebuild, and the ledger/hazard/FUA-horizon structures
+        // must agree with the per-tag commit/complete masks.  Compiles to a
+        // no-op in release builds.
+        sprinkler::ssd::validate_context(ctx);
         let start = out.len();
         self.inner.schedule_into(ctx, out);
         let mut log = self.log.lock().unwrap();
