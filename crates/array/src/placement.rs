@@ -29,7 +29,8 @@
 //!   itself in simulated time like it would in a real JBOF.
 //!
 //! With no migrations applied, every lookup agrees with the closed-form
-//! [`StripeMap`] — pinned by differential tests — so the indirection is
+//! [`StripeMap`](crate::StripeMap) — pinned by differential tests — so the
+//! indirection is
 //! behavior-preserving until a rebalancer actually acts.
 
 use serde::{Deserialize, Serialize};

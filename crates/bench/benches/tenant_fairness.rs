@@ -1,0 +1,36 @@
+//! Regenerates the multi-tenant scenarios at bench scale and times the
+//! fair-share admission front end to end, so regressions in the
+//! deficit-round-robin multiplexer, the token-bucket throttle, and the
+//! per-tenant metric attribution are visible alongside the device benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprinkler_bench::bench_scale;
+use sprinkler_core::SchedulerKind;
+use sprinkler_experiments::scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for name in ["tenant-mix", "tenant-storm"] {
+        let outcome = scenario::run(name, &scale).expect("tenant scenarios are registered");
+        println!("{}", outcome.table().render());
+    }
+    let mix = scenario::tenant_mix_outcome(&scale, SchedulerKind::Spk3);
+    println!(
+        "tenant-mix spk3: fairness index {:.4} over {} tenants",
+        mix.fairness_index(),
+        mix.metrics.tenants.len()
+    );
+
+    let mut group = c.benchmark_group("tenant_fairness");
+    group.sample_size(10);
+    group.bench_function("spk3_mix_3tenants", |b| {
+        b.iter(|| scenario::tenant_mix_outcome(&scale, SchedulerKind::Spk3))
+    });
+    group.bench_function("spk3_storm_8x", |b| {
+        b.iter(|| scenario::tenant_storm_outcome(&scale, "storm", SchedulerKind::Spk3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,6 +3,19 @@
 //! Every bench target in `benches/` regenerates one table or figure of the paper
 //! (printing it to stdout) and then lets Criterion time a representative slice of
 //! the underlying simulation so regressions in simulator performance are visible.
+//!
+//! # Example
+//!
+//! The shared measurement body the committed `BENCH_*.json` baselines time:
+//!
+//! ```
+//! use sprinkler_core::SchedulerKind;
+//!
+//! let metrics = sprinkler_bench::representative_run(SchedulerKind::Spk3);
+//! assert_eq!(metrics.io_count, 120);
+//! ```
+
+#![warn(missing_docs)]
 
 use sprinkler_core::SchedulerKind;
 use sprinkler_experiments::runner::ExperimentScale;

@@ -1,9 +1,9 @@
 //! Regenerates — and gates on — the repository benchmark baselines
-//! (`BENCH_seed.json`, `BENCH_scaling.json`, `BENCH_array.json`) through the
-//! parallel experiment runner.
+//! (`BENCH_seed.json`, `BENCH_scaling.json`, `BENCH_array.json`,
+//! `BENCH_tenants.json`) through the parallel experiment runner.
 //!
 //! ```sh
-//! # Rewrite all three baselines (commitment-stream-changing PRs):
+//! # Rewrite all four baselines (commitment-stream-changing PRs):
 //! cargo run --release -p sprinkler_experiments --bin regen_baselines -- \
 //!     --label "PR N: what changed the streams"
 //!
@@ -363,6 +363,71 @@ fn array_metrics() -> Vec<(&'static str, f64)> {
     ]
 }
 
+/// `BENCH_tenants.json`: the multi-tenant serving front at quick scale — the
+/// tenant-mix fairness and per-class p99 figures, and the tenant-storm
+/// isolation contract (victim p99 ratios pinned at 1.0-ish, storm-tenant p99
+/// ratio showing the blast landed on the storming tenant), plus the mux's
+/// admission telemetry so the DRR/bucket decision stream itself is gated.
+fn tenant_metrics() -> Vec<(&'static str, f64)> {
+    let scale = ExperimentScale::quick();
+    let mix = scenario::tenant_mix_outcome(&scale, SchedulerKind::Spk3);
+    let p99 = |outcome: &sprinkler_tenants::TenantOutcome, name: &str| {
+        outcome
+            .metrics
+            .tenants
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.p99_latency_ns as f64)
+            .expect("tenant lane exists")
+    };
+    let baseline = scenario::tenant_storm_outcome(&scale, "baseline", SchedulerKind::Spk3);
+    let storm = scenario::tenant_storm_outcome(&scale, "storm", SchedulerKind::Spk3);
+    let telemetry = &storm.metrics.telemetry;
+    vec![
+        ("tenant_mix_spk3_fairness_index", mix.fairness_index()),
+        (
+            "tenant_mix_spk3_interactive_p99_ns",
+            p99(&mix, "interactive"),
+        ),
+        ("tenant_mix_spk3_streaming_p99_ns", p99(&mix, "streaming")),
+        ("tenant_mix_spk3_batch_p99_ns", p99(&mix, "batch")),
+        (
+            "tenant_mix_spk3_interactive_slo_violations",
+            mix.metrics
+                .tenants
+                .iter()
+                .find(|t| t.name == "interactive")
+                .map(|t| t.slo_violations as f64)
+                .expect("interactive lane exists"),
+        ),
+        (
+            "tenant_storm_spk3_interactive_p99_ratio",
+            p99(&storm, "interactive") / p99(&baseline, "interactive"),
+        ),
+        (
+            "tenant_storm_spk3_streaming_p99_ratio",
+            p99(&storm, "streaming") / p99(&baseline, "streaming"),
+        ),
+        (
+            "tenant_storm_spk3_batch_p99_ratio",
+            p99(&storm, "batch") / p99(&baseline, "batch"),
+        ),
+        ("tenant_storm_spk3_fairness_index", storm.fairness_index()),
+        (
+            "tenant_storm_spk3_admissions",
+            telemetry.tenant_admissions as f64,
+        ),
+        (
+            "tenant_storm_spk3_deferrals",
+            telemetry.tenant_deferrals as f64,
+        ),
+        (
+            "tenant_storm_spk3_throttles",
+            telemetry.tenant_throttles as f64,
+        ),
+    ]
+}
+
 /// Renders a metrics_check object (4-decimal values; the gate's tolerance
 /// absorbs the rounding).
 fn metrics_check_json(metrics: &[(&str, f64)]) -> String {
@@ -589,6 +654,60 @@ fn regen_array_baseline(label: &str, date: &str) -> String {
     )
 }
 
+fn regen_tenant_baseline(label: &str, date: &str) -> String {
+    println!("== BENCH_tenants.json: tenant-mix + tenant-storm (quick-scale metrics) ==");
+    // The timed body matches the `tenant_fairness/spk3_mix_3tenants` criterion
+    // bench: the whole admission front — slicing, DRR, buckets, per-tenant
+    // attribution — at bench scale.
+    let timing = time_runs(|| {
+        std::hint::black_box(scenario::tenant_mix_outcome(
+            &ExperimentScale::bench(),
+            SchedulerKind::Spk3,
+        ));
+    });
+    println!(
+        "tenant_fairness/spk3_mix_3tenants mean {:.1} ns",
+        timing.mean_ns
+    );
+    let start = Instant::now();
+    let metrics = tenant_metrics();
+    let panel_s = start.elapsed().as_secs_f64();
+    println!(
+        "tenant metrics (mix + storm pair): {panel_s:.2} s; storm victim p99 ratio {:.2}",
+        metrics[5].1
+    );
+
+    format!(
+        r#"{{
+  "baseline": "{label}",
+  "date": "{date}",
+  "command": "cargo run --release -p sprinkler_experiments --bin regen_baselines -- --label '...'",
+  "scenario": "tenant-mix: interactive (95% 4KB random reads, 5ms SLO) + streaming (sequential 256KB reads, 50ms SLO) + batch (128KB writes behind a 64MB/s token bucket) sharing one device through the deficit-round-robin admission front; tenant-storm: the same tenants with the batch lane at 8x volume in one dense burst — the *_p99_ratio keys are storm/baseline per victim and must stay within the isolation bound while the batch ratio shows the storm cost its sender; timing at bench scale to match the tenant_fairness criterion bench, metrics_check at quick scale to match the CI scenario run",
+  "profile": "release, 1 untimed warmup then {SAMPLES} timed iterations (regen_baselines)",
+  "results": [
+    {{
+      "bench": "tenant_fairness/spk3_mix_3tenants",
+      "mean_ns": {mean:.1},
+      "min_ns": {min:.1},
+      "max_ns": {max:.1},
+      "samples": {SAMPLES}
+    }}
+  ],
+  "isolation_contract": {{
+    "storm_factor": 8,
+    "victim_p99_bound_x": 2.0,
+    "note": "tenant_storm_spk3_interactive_p99_ratio and tenant_storm_spk3_streaming_p99_ratio must hold under victim_p99_bound_x; asserted by scenario::tests::tenant_storm_holds_isolated_tenant_p99 and gated here"
+  }},
+{metrics_check}
+}}
+"#,
+        mean = timing.mean_ns,
+        min = timing.min_ns,
+        max = timing.max_ns,
+        metrics_check = metrics_check_json(&metrics),
+    )
+}
+
 // ---------------------------------------------------------------------------
 // The --check gate
 // ---------------------------------------------------------------------------
@@ -654,6 +773,7 @@ fn check_gate() -> ! {
     drifted += check_file(&root, "BENCH_seed.json", &seed_metrics());
     drifted += check_file(&root, "BENCH_scaling.json", &scaling_metrics());
     drifted += check_file(&root, "BENCH_array.json", &array_metrics());
+    drifted += check_file(&root, "BENCH_tenants.json", &tenant_metrics());
     let elapsed = start.elapsed().as_secs_f64();
     if drifted > 0 {
         println!(
@@ -737,5 +857,10 @@ fn main() {
     std::fs::write(root.join("BENCH_scaling.json"), scaling).expect("write BENCH_scaling.json");
     let array = regen_array_baseline(&label, &date);
     std::fs::write(root.join("BENCH_array.json"), array).expect("write BENCH_array.json");
-    println!("rewrote BENCH_seed.json, BENCH_scaling.json, and BENCH_array.json ({label})");
+    let tenants = regen_tenant_baseline(&label, &date);
+    std::fs::write(root.join("BENCH_tenants.json"), tenants).expect("write BENCH_tenants.json");
+    println!(
+        "rewrote BENCH_seed.json, BENCH_scaling.json, BENCH_array.json, and BENCH_tenants.json \
+         ({label})"
+    );
 }

@@ -31,6 +31,23 @@
 //! wins, by roughly what factor, and where the crossovers fall — are what these
 //! experiments reproduce.  `EXPERIMENTS.md` at the repository root records the
 //! paper-vs-measured comparison for every experiment.
+//!
+//! # Example
+//!
+//! Replay one trace through one scheduler — the primitive every figure is
+//! built from:
+//!
+//! ```
+//! use sprinkler_core::SchedulerKind;
+//! use sprinkler_experiments::runner::run_one;
+//! use sprinkler_ssd::SsdConfig;
+//! use sprinkler_workloads::SyntheticSpec;
+//!
+//! let config = SsdConfig::paper_default().with_blocks_per_plane(16);
+//! let trace = SyntheticSpec::new("doc").generate(50, 7);
+//! let metrics = run_one(&config, SchedulerKind::Spk3, &trace);
+//! assert_eq!(metrics.io_count, 50);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -15,6 +15,8 @@
 //! | `array-skew`        | hot-shard imbalance: clustered offsets against coarse stripes vs a uniform workload on a 4-device array, plus the same hot shard with the adaptive rebalancer on — the regression the placement layer must win |
 //! | `array-rebalance`   | a modular hot set (every hot stripe ≡ 0 mod width, so round-robin deals them all to one device) replayed static vs adaptive — only the placement indirection can spread the heat |
 //! | `array-hetero`      | heterogeneous devices (32/16/8/8 chips) with the hot set dealt to a small device: weight-aware migration moves it toward the big device |
+//! | `tenant-mix`        | three tenant classes (interactive / streaming / batch) share one device through the fair-share admission front; per-tenant p99, SLO counts, and the weighted fairness index ride the run metrics |
+//! | `tenant-storm`      | the batch tenant storms (8× its baseline submission volume, arriving all at once); the token bucket plus deficit round-robin must hold the isolated tenants' p99 while the storming tenant eats its own queueing |
 //!
 //! Every scenario compares the conventional controller (VAS) against full
 //! Sprinkler (SPK3) and returns per-cell [`RunMetrics`], so regressions in any
@@ -29,12 +31,17 @@ use sprinkler_sim::{SimTime, SplitMix64};
 use sprinkler_ssd::{GcConfig, RunMetrics, SsdConfig};
 use sprinkler_workloads::{parse, workload, SweepSpec, SyntheticSpec, Trace, TraceOp, TraceRecord};
 
+use sprinkler_tenants::{
+    run_tenants, PriorityClass, TenantMux, TenantOutcome, TenantSpec, TokenBucketConfig,
+};
+use sprinkler_workloads::{FootprintSlice, SlicedSource, TraceSource};
+
 use crate::replay::{run_source, run_source_detailed, CapacityPolicy};
 use crate::report::{fmt_f64, Table};
 use crate::runner::{run_cells, ExperimentScale};
 
 /// The registered scenario names, in run order.
-pub const SCENARIO_NAMES: [&str; 8] = [
+pub const SCENARIO_NAMES: [&str; 10] = [
     "enterprise-replay",
     "gc-steady-state",
     "queue-depth-sweep",
@@ -43,6 +50,8 @@ pub const SCENARIO_NAMES: [&str; 8] = [
     "array-skew",
     "array-rebalance",
     "array-hetero",
+    "tenant-mix",
+    "tenant-storm",
 ];
 
 /// Array widths the scale-out scenario sweeps; the chip budget is fixed, so
@@ -131,6 +140,8 @@ pub fn run(name: &str, scale: &ExperimentScale) -> Option<ScenarioOutcome> {
         "array-skew" => array_skew(scale),
         "array-rebalance" => array_rebalance(scale),
         "array-hetero" => array_hetero(scale),
+        "tenant-mix" => tenant_mix(scale),
+        "tenant-storm" => tenant_storm(scale),
         _ => return None,
     };
     Some(ScenarioOutcome {
@@ -640,6 +651,175 @@ fn array_hetero(scale: &ExperimentScale) -> Vec<ScenarioCell> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant scenarios
+// ---------------------------------------------------------------------------
+
+/// Storm multiplier: the storming tenant submits this many times its baseline
+/// record count, all arriving in a dense front-loaded burst.
+pub const TENANT_STORM_FACTOR: u64 = 8;
+
+/// The pinned isolation bound the tenant-storm scenario must hold: each
+/// isolated tenant's p99 under the storm stays within this factor of its
+/// baseline p99 (asserted by a test and gated in `BENCH_tenants.json`).
+pub const TENANT_ISOLATION_P99_BOUND: f64 = 2.0;
+
+/// Carves the device's logical capacity into `n` page-aligned tenant slices.
+fn tenant_slices(config: &SsdConfig, n: usize) -> Vec<FootprintSlice> {
+    FootprintSlice::split_even(
+        config.geometry.capacity_bytes(),
+        n,
+        config.page_size() as u64,
+    )
+}
+
+/// Wraps a synthetic workload into one tenant's footprint slice.  The
+/// generator's footprint is clamped to the slice (64 MB keeps offsets hot
+/// enough to exercise parallelism without touching the whole device).
+fn tenant_source(
+    spec: SyntheticSpec,
+    slice: FootprintSlice,
+    count: u64,
+    seed: u64,
+) -> Box<dyn TraceSource + Send + 'static> {
+    let footprint_mb = (slice.len / (1024 * 1024)).clamp(1, 64);
+    Box::new(SlicedSource::new(
+        spec.with_footprint_mb(footprint_mb).stream(count, seed),
+        slice,
+    ))
+}
+
+/// The interactive tenant every tenant scenario runs: small, latency-critical
+/// random reads with a 5 ms SLO.
+fn interactive_tenant(
+    slice: FootprintSlice,
+    count: u64,
+) -> (TenantSpec, Box<dyn TraceSource + Send>) {
+    let spec = SyntheticSpec::new("interactive")
+        .with_read_fraction(0.95)
+        .with_mean_sizes_kb(4.0, 4.0)
+        .with_randomness(1.0, 1.0)
+        .with_bursts(4, 120.0);
+    (
+        TenantSpec::new("interactive", PriorityClass::Interactive).with_slo_latency_ns(5_000_000),
+        tenant_source(spec, slice, count, 0x7E01),
+    )
+}
+
+/// The streaming tenant: deadline-driven sequential 256 KB reads (the
+/// video-allocation class from PAPERS.md) with a 50 ms SLO.
+fn streaming_tenant(
+    slice: FootprintSlice,
+    count: u64,
+) -> (TenantSpec, Box<dyn TraceSource + Send>) {
+    let spec = SyntheticSpec::new("streaming")
+        .with_read_fraction(1.0)
+        .with_mean_sizes_kb(256.0, 256.0)
+        .with_randomness(0.05, 0.05)
+        .with_bursts(2, 500.0);
+    (
+        TenantSpec::new("streaming", PriorityClass::Streaming).with_slo_latency_ns(50_000_000),
+        tenant_source(spec, slice, count, 0x7E02),
+    )
+}
+
+/// The batch tenant: large, throughput-oriented writes behind a token bucket
+/// (the burst-isolation mechanism the storm scenario stresses).
+fn batch_tenant(
+    slice: FootprintSlice,
+    count: u64,
+    storming: bool,
+) -> (TenantSpec, Box<dyn TraceSource + Send>) {
+    let spec = if storming {
+        // The storm: everything submitted in one dense front-loaded burst.
+        SyntheticSpec::new("batch")
+            .with_read_fraction(0.1)
+            .with_mean_sizes_kb(128.0, 128.0)
+            .with_bursts(4096, 1.0)
+    } else {
+        SyntheticSpec::new("batch")
+            .with_read_fraction(0.1)
+            .with_mean_sizes_kb(128.0, 128.0)
+            .with_bursts(16, 400.0)
+    };
+    (
+        TenantSpec::new("batch", PriorityClass::Batch)
+            .with_bucket(TokenBucketConfig::new(64 * 1024 * 1024, 1024 * 1024)),
+        tenant_source(spec, slice, count, 0x7E03),
+    )
+}
+
+/// One tenant-mix cell: interactive + streaming + batch sharing one device
+/// through the fair-share front.  Public so the bench target, the baseline
+/// gate, and tests measure exactly the cell the scenario runs.
+pub fn tenant_mix_outcome(scale: &ExperimentScale, kind: SchedulerKind) -> TenantOutcome {
+    let config = scenario_config(scale);
+    let slices = tenant_slices(&config, 3);
+    let n = scale.ios_per_workload;
+    let mux = TenantMux::new(vec![
+        interactive_tenant(slices[0], n / 2),
+        streaming_tenant(slices[1], n / 4),
+        batch_tenant(slices[2], n / 4, false),
+    ]);
+    run_tenants(&config, kind, mux).expect("tenant slices are provisioned within capacity")
+}
+
+/// One tenant-storm cell.  `"baseline"` runs the same tenants as tenant-mix;
+/// `"storm"` multiplies the batch tenant's submission volume by
+/// [`TENANT_STORM_FACTOR`] and front-loads its arrivals, leaving the isolated
+/// tenants' streams byte-identical — any change in their latency is
+/// attributable to the storm alone.  Public for the bench target, the
+/// baseline gate, and tests.
+pub fn tenant_storm_outcome(
+    scale: &ExperimentScale,
+    label: &str,
+    kind: SchedulerKind,
+) -> TenantOutcome {
+    let config = scenario_config(scale);
+    let slices = tenant_slices(&config, 3);
+    let n = scale.ios_per_workload;
+    let storming = label == "storm";
+    let batch_count = if storming {
+        (n / 4) * TENANT_STORM_FACTOR
+    } else {
+        n / 4
+    };
+    let mux = TenantMux::new(vec![
+        interactive_tenant(slices[0], n / 2),
+        streaming_tenant(slices[1], n / 4),
+        batch_tenant(slices[2], batch_count, storming),
+    ]);
+    run_tenants(&config, kind, mux).expect("tenant slices are provisioned within capacity")
+}
+
+/// tenant-mix: the three tenant classes share one device through the
+/// deficit-round-robin admission front; per-tenant figures ride
+/// [`RunMetrics::tenants`].
+fn tenant_mix(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let cells: Vec<SchedulerKind> = SCHEDULERS.to_vec();
+    run_cells(&cells, |&kind| ScenarioCell {
+        label: "mix".to_string(),
+        scheduler: kind,
+        metrics: tenant_mix_outcome(scale, kind).metrics,
+    })
+}
+
+/// tenant-storm: burst isolation under a storming batch tenant, baseline vs
+/// storm — the isolated tenants' p99 must hold within
+/// [`TENANT_ISOLATION_P99_BOUND`] of baseline.
+fn tenant_storm(scale: &ExperimentScale) -> Vec<ScenarioCell> {
+    let variants = ["baseline", "storm"];
+    let cells: Vec<(&str, SchedulerKind)> = variants
+        .into_iter()
+        .flat_map(|label| SCHEDULERS.iter().map(move |&kind| (label, kind)))
+        .collect();
+    run_cells(&cells, |&(label, kind)| ScenarioCell {
+        label: label.to_string(),
+        scheduler: kind,
+        metrics: tenant_storm_outcome(scale, label, kind).metrics,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -853,6 +1033,77 @@ mod tests {
                 stat.bandwidth_kb_per_sec
             );
         }
+    }
+
+    #[test]
+    fn tenant_mix_attributes_every_io_and_class() {
+        let scale = ExperimentScale::quick();
+        for kind in SCHEDULERS {
+            let outcome = tenant_mix_outcome(&scale, kind);
+            assert_eq!(outcome.metrics.tenants.len(), 3, "{kind}");
+            let attributed: u64 = outcome.metrics.tenants.iter().map(|t| t.io_count).sum();
+            assert_eq!(attributed, outcome.metrics.io_count, "{kind}");
+            for tenant in &outcome.metrics.tenants {
+                assert!(tenant.io_count > 0, "{kind}: {} ran nothing", tenant.name);
+                assert!(tenant.p99_latency_ns > 0, "{kind}: {}", tenant.name);
+            }
+            let fairness = outcome.fairness_index();
+            assert!(
+                fairness > 0.0 && fairness <= 1.0,
+                "{kind}: fairness {fairness}"
+            );
+        }
+        // The registry serves the scenario as scheduler cells.
+        let outcome = run("tenant-mix", &scale).unwrap();
+        assert_eq!(outcome.cells.len(), SCHEDULERS.len());
+    }
+
+    /// The acceptance bar for the multi-tenant front, pinned for every
+    /// scheduler at the figure horizon: when the batch tenant storms at
+    /// [`TENANT_STORM_FACTOR`]× its baseline volume, its own p99 must degrade
+    /// (the storm is real) while each isolated tenant's p99 holds within
+    /// [`TENANT_ISOLATION_P99_BOUND`]× of its baseline (the bucket and the
+    /// deficit-round-robin front absorb the blast).
+    #[test]
+    fn tenant_storm_holds_isolated_tenant_p99() {
+        let scale = ExperimentScale::quick();
+        for kind in SCHEDULERS {
+            let baseline = tenant_storm_outcome(&scale, "baseline", kind);
+            let storm = tenant_storm_outcome(&scale, "storm", kind);
+            let p99 = |outcome: &TenantOutcome, name: &str| {
+                outcome
+                    .metrics
+                    .tenants
+                    .iter()
+                    .find(|t| t.name == name)
+                    .unwrap_or_else(|| panic!("missing tenant {name}"))
+                    .p99_latency_ns
+            };
+            assert!(
+                p99(&storm, "batch") >= 2 * p99(&baseline, "batch"),
+                "{kind}: the storm must cost the storming tenant \
+                 ({} vs baseline {})",
+                p99(&storm, "batch"),
+                p99(&baseline, "batch")
+            );
+            for victim in ["interactive", "streaming"] {
+                let held = p99(&storm, victim) as f64;
+                let bound = p99(&baseline, victim) as f64 * TENANT_ISOLATION_P99_BOUND;
+                assert!(
+                    held <= bound,
+                    "{kind}: {victim} p99 {held} broke the {TENANT_ISOLATION_P99_BOUND}x \
+                     isolation bound (baseline {})",
+                    p99(&baseline, victim)
+                );
+            }
+            // The storm drags the run's byte-share fairness down.
+            assert!(
+                storm.fairness_index() < baseline.fairness_index(),
+                "{kind}: fairness did not register the storm"
+            );
+        }
+        let outcome = run("tenant-storm", &scale).unwrap();
+        assert_eq!(outcome.cells.len(), 2 * SCHEDULERS.len());
     }
 
     #[test]

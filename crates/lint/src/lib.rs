@@ -8,6 +8,28 @@
 //! rules-as-data ([`rules::RULES`]) configured by `crates/lint/lint.toml`
 //! ([`config`]).  Deliberately dependency-free: it builds offline, before
 //! anything else, and can never be broken by the code it polices.
+//!
+//! # Example
+//!
+//! Lint one source string against a manifest that puts it in the
+//! deterministic scope:
+//!
+//! ```
+//! use sprinkler_lint::{config::Manifest, rules::{lint_source, RuleSet}};
+//!
+//! let manifest = Manifest::parse("[deterministic]\ndir = crates/sim/src\n")
+//!     .expect("valid manifest");
+//! let rules = RuleSet::from_manifest(&manifest).expect("valid rules");
+//! // A wall-clock read inside a deterministic dir is the canonical violation.
+//! let violations = lint_source(
+//!     "crates/sim/src/demo.rs",
+//!     "fn now() { let _ = std::time::Instant::now(); }",
+//!     &rules,
+//! );
+//! assert!(violations.iter().any(|v| v.rule == "no-wall-clock"));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod lexer;

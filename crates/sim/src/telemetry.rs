@@ -52,6 +52,14 @@ pub struct TelemetryCounters {
     /// EWMA decay passes applied to the per-stripe heat table (one per
     /// rebalance window).
     pub heat_decays: AtomicU64,
+    /// Host requests admitted through the multi-tenant fair-share front.
+    pub tenant_admissions: AtomicU64,
+    /// Tenant head-of-line records deferred past their arrival time by the
+    /// deficit-round-robin fair scheduler (another tenant held the turn).
+    pub tenant_deferrals: AtomicU64,
+    /// Tenant head-of-line records held back by the burst-isolation token
+    /// bucket (arrival was due but the bucket was empty).
+    pub tenant_throttles: AtomicU64,
 }
 
 impl TelemetryCounters {
@@ -79,6 +87,9 @@ impl TelemetryCounters {
             stripes_migrated: self.stripes_migrated.load(Ordering::Relaxed),
             migration_bytes: self.migration_bytes.load(Ordering::Relaxed),
             heat_decays: self.heat_decays.load(Ordering::Relaxed),
+            tenant_admissions: self.tenant_admissions.load(Ordering::Relaxed),
+            tenant_deferrals: self.tenant_deferrals.load(Ordering::Relaxed),
+            tenant_throttles: self.tenant_throttles.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +119,15 @@ pub struct TelemetrySnapshot {
     pub migration_bytes: u64,
     /// EWMA decay passes applied to the per-stripe heat table.
     pub heat_decays: u64,
+    /// Host requests admitted through the multi-tenant fair-share front.
+    #[serde(default)]
+    pub tenant_admissions: u64,
+    /// Tenant head-of-line records deferred past arrival by the fair scheduler.
+    #[serde(default)]
+    pub tenant_deferrals: u64,
+    /// Tenant head-of-line records held back by the burst-isolation bucket.
+    #[serde(default)]
+    pub tenant_throttles: u64,
 }
 
 impl TelemetrySnapshot {
@@ -126,6 +146,9 @@ impl TelemetrySnapshot {
             stripes_migrated: self.stripes_migrated + other.stripes_migrated,
             migration_bytes: self.migration_bytes + other.migration_bytes,
             heat_decays: self.heat_decays + other.heat_decays,
+            tenant_admissions: self.tenant_admissions + other.tenant_admissions,
+            tenant_deferrals: self.tenant_deferrals + other.tenant_deferrals,
+            tenant_throttles: self.tenant_throttles + other.tenant_throttles,
         }
     }
 }

@@ -193,6 +193,10 @@ pub struct RunMetrics {
     /// Always-on hot-path telemetry counters, frozen at finalize.  Summed
     /// elementwise when device runs are aggregated into an array summary.
     pub telemetry: TelemetrySnapshot,
+    /// Per-tenant metric slices, in tenant-lane order.  Empty unless the run
+    /// was fed through the multi-tenant admission front and the lanes were
+    /// registered with [`MetricsCollector::configure_tenants`] before replay.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl RunMetrics {
@@ -204,6 +208,107 @@ impl RunMetrics {
     /// Bandwidth expressed in MB/s.
     pub fn bandwidth_mb_per_sec(&self) -> f64 {
         self.bandwidth_kb_per_sec / 1024.0
+    }
+}
+
+/// Identity and QoS contract of one tenant lane, registered with
+/// [`MetricsCollector::configure_tenants`] before a multi-tenant replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantLaneSpec {
+    /// Tenant name, carried into [`TenantMetrics::name`].
+    pub name: String,
+    /// Latency SLO threshold in ns; completions slower than this count as
+    /// violations.  `0` means the tenant has no latency SLO.
+    pub slo_latency_ns: u64,
+}
+
+/// The per-tenant slice of a run's metrics.
+///
+/// Latency is measured from the tenant's *submission* time (before fair-share
+/// admission delay), so queueing imposed by the multi-tenant front counts
+/// against the tenant — unlike the device-level figures in [`RunMetrics`],
+/// which measure from device arrival.  The latency buckets use the same shared
+/// bounds as [`RunMetrics::latency_buckets`] ([`latency_bucket_bounds`]), so
+/// per-tenant histograms from independent runs merge exactly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// Tenant name from the lane spec.
+    pub name: String,
+    /// Host I/Os completed for this tenant.
+    pub io_count: u64,
+    /// Completed reads.
+    pub read_ios: u64,
+    /// Completed writes.
+    pub write_ios: u64,
+    /// Bytes returned to this tenant by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted from this tenant by writes.
+    pub bytes_written: u64,
+    /// Mean submission-to-completion latency, ns.
+    pub avg_latency_ns: f64,
+    /// 99th-percentile submission-to-completion latency, ns.
+    pub p99_latency_ns: u64,
+    /// Maximum submission-to-completion latency, ns.
+    pub max_latency_ns: u64,
+    /// The lane's SLO threshold (0 = none).
+    pub slo_latency_ns: u64,
+    /// Completions whose latency exceeded the SLO threshold.
+    pub slo_violations: u64,
+    /// Per-bucket latency counts over the shared [`latency_bucket_bounds`].
+    pub latency_buckets: Vec<u64>,
+}
+
+impl TenantMetrics {
+    /// Total bytes moved for this tenant.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Live accumulation state for one tenant lane.
+#[derive(Debug, Clone)]
+struct TenantLane {
+    spec: TenantLaneSpec,
+    io_count: u64,
+    read_ios: u64,
+    write_ios: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    latency: MeanStat,
+    latency_hist: Histogram,
+    slo_violations: u64,
+}
+
+impl TenantLane {
+    fn new(spec: TenantLaneSpec) -> Self {
+        TenantLane {
+            spec,
+            io_count: 0,
+            read_ios: 0,
+            write_ios: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            latency: MeanStat::new(),
+            latency_hist: Histogram::exponential(LATENCY_HIST_START_NS, LATENCY_HIST_BUCKETS),
+            slo_violations: 0,
+        }
+    }
+
+    fn finalize(self) -> TenantMetrics {
+        TenantMetrics {
+            name: self.spec.name,
+            io_count: self.io_count,
+            read_ios: self.read_ios,
+            write_ios: self.write_ios,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            avg_latency_ns: self.latency.mean(),
+            p99_latency_ns: self.latency_hist.quantile(0.99),
+            max_latency_ns: self.latency_hist.max(),
+            slo_latency_ns: self.spec.slo_latency_ns,
+            slo_violations: self.slo_violations,
+            latency_buckets: self.latency_hist.bucket_counts().to_vec(),
+        }
     }
 }
 
@@ -232,6 +337,7 @@ pub struct MetricsCollector {
     peak_host_backlog: u64,
     peak_pending_events: u64,
     telemetry: Arc<TelemetryCounters>,
+    tenant_lanes: Vec<TenantLane>,
 }
 
 impl MetricsCollector {
@@ -261,7 +367,15 @@ impl MetricsCollector {
             peak_host_backlog: 0,
             peak_pending_events: 0,
             telemetry: Arc::new(TelemetryCounters::new()),
+            tenant_lanes: Vec::new(),
         }
+    }
+
+    /// Registers the run's tenant lanes, pre-sizing one histogram and stat
+    /// bundle per tenant so the per-I/O attribution path never allocates.
+    /// Replaces any previously configured lanes.
+    pub fn configure_tenants(&mut self, specs: &[TenantLaneSpec]) {
+        self.tenant_lanes = specs.iter().cloned().map(TenantLane::new).collect();
     }
 
     /// The run's hot-path telemetry counters.  The SSD substrate and its
@@ -313,6 +427,37 @@ impl MetricsCollector {
         self.last_completion = self.last_completion.max(completed);
         if self.record_series {
             self.latency_series.push((host_id, latency.as_nanos()));
+        }
+    }
+
+    /// Attributes a completed host I/O to its tenant lane.  Latency is
+    /// measured from `submitted` (the tenant's pre-admission submission time),
+    /// so fair-share queueing delay counts against the tenant's SLO.  A no-op
+    /// when no lanes are configured or `tenant` is out of range.
+    pub fn record_tenant_io(
+        &mut self,
+        tenant: u32,
+        is_read: bool,
+        bytes: u64,
+        submitted: SimTime,
+        completed: SimTime,
+    ) {
+        let Some(lane) = self.tenant_lanes.get_mut(tenant as usize) else {
+            return;
+        };
+        lane.io_count += 1;
+        if is_read {
+            lane.read_ios += 1;
+            lane.bytes_read += bytes;
+        } else {
+            lane.write_ios += 1;
+            lane.bytes_written += bytes;
+        }
+        let latency = completed.saturating_since(submitted);
+        lane.latency.record(latency.as_nanos() as f64);
+        lane.latency_hist.record(latency.as_nanos());
+        if lane.spec.slo_latency_ns > 0 && latency.as_nanos() > lane.spec.slo_latency_ns {
+            lane.slo_violations += 1;
         }
     }
 
@@ -447,6 +592,11 @@ impl MetricsCollector {
             latency_buckets: self.latency_hist.bucket_counts().to_vec(),
             latency_series: self.latency_series,
             telemetry: self.telemetry.snapshot(),
+            tenants: self
+                .tenant_lanes
+                .into_iter()
+                .map(TenantLane::finalize)
+                .collect(),
         }
     }
 }

@@ -14,7 +14,7 @@
 //! how many I/Os have ever been served.
 //!
 //! The slot index is the queue's *dense handle*: tag-id lookups resolve to a
-//! `u32` slot through a direct-mapped ring ([`TagMap`], no hashing — tags are
+//! `u32` slot through a direct-mapped ring (`TagMap`, no hashing — tags are
 //! issued densely), and per-slot hot fields (admission seq, raw tag id,
 //! direction flag) are mirrored into parallel *slot columns* so the scheduler
 //! hot path reads small contiguous arrays instead of chasing `Option<TagState>`.

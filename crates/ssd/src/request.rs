@@ -84,6 +84,14 @@ pub struct HostRequest {
     /// Force-unit-access: when set, the request must not be reordered (hazard
     /// control, §4.4).
     pub fua: bool,
+    /// Tenant lane index assigned by the multi-tenant admission front
+    /// (0 when the run has a single anonymous tenant).
+    pub tenant: u32,
+    /// Time the request was submitted by its tenant, before fair-share
+    /// admission delay.  Equal to `arrival` unless an admission layer deferred
+    /// the request; per-tenant latency is measured from this point so queueing
+    /// imposed by the fair scheduler counts against the tenant's SLO.
+    pub submitted: SimTime,
 }
 
 impl HostRequest {
@@ -102,12 +110,22 @@ impl HostRequest {
             start_lpn,
             pages: pages.max(1),
             fua: false,
+            tenant: 0,
+            submitted: arrival,
         }
     }
 
     /// Marks the request force-unit-access.
     pub fn with_fua(mut self, fua: bool) -> Self {
         self.fua = fua;
+        self
+    }
+
+    /// Attributes the request to a tenant lane and records its original
+    /// submission time (pre-admission-delay arrival).
+    pub fn with_tenant(mut self, tenant: u32, submitted: SimTime) -> Self {
+        self.tenant = tenant;
+        self.submitted = submitted;
         self
     }
 

@@ -249,6 +249,21 @@ impl Ssd {
         self.record_series
     }
 
+    /// Registers per-tenant metric lanes for this run.  Completed I/Os whose
+    /// [`HostRequest::tenant`] indexes a registered lane are attributed to it
+    /// (latency measured from [`HostRequest::submitted`]); the lanes surface
+    /// as [`RunMetrics::tenants`].  Call before replay starts.
+    pub fn configure_tenants(&mut self, specs: &[crate::metrics::TenantLaneSpec]) {
+        self.metrics.configure_tenants(specs);
+    }
+
+    /// The run's shared telemetry counter bundle (also incremented by the
+    /// multi-tenant admission front, so tenant admission/deferral/throttle
+    /// counts land in the same per-run snapshot).
+    pub fn telemetry(&self) -> &Arc<TelemetryCounters> {
+        self.metrics.telemetry()
+    }
+
     /// Pre-conditions the SSD into a fragmented state (live data occupying
     /// `utilization` of the physical capacity) so garbage collection triggers
     /// quickly, as in the Fig 17 experiments.  Must be called before [`Ssd::run`].
@@ -702,6 +717,15 @@ impl Ssd {
                     host.direction.is_read(),
                     host.bytes(self.config.page_size()),
                     host.arrival,
+                    completed_at,
+                );
+                // Tenant attribution measures from the pre-admission
+                // submission time; a no-op unless lanes were configured.
+                self.metrics.record_tenant_io(
+                    host.tenant,
+                    host.direction.is_read(),
+                    host.bytes(self.config.page_size()),
+                    host.submitted,
                     completed_at,
                 );
                 // Recycle the tag's buffers so later admissions reuse them.

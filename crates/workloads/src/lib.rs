@@ -20,11 +20,31 @@
 //! * a streaming text-trace parser ([`parse`]) for MSR-Cambridge-style CSV and
 //!   blkparse-style lines, with an embedded sample corpus,
 //! * and trace analysis used to regenerate Table 1 itself ([`stats`]).
+//!
+//! # Example
+//!
+//! Stream a synthetic workload and check its declared footprint bound:
+//!
+//! ```
+//! use sprinkler_workloads::{SyntheticSpec, TraceSource};
+//!
+//! let mut source = SyntheticSpec::new("demo")
+//!     .with_read_fraction(0.7)
+//!     .stream(10, 42);
+//! let footprint = source.footprint_bytes();
+//! let mut total = 0;
+//! while let Some(record) = source.next_record() {
+//!     assert!(record.offset + record.bytes <= footprint);
+//!     total += record.bytes;
+//! }
+//! assert!(total > 0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod parse;
+pub mod slice;
 pub mod source;
 pub mod stats;
 pub mod sweep;
@@ -33,6 +53,7 @@ pub mod table1;
 pub mod trace;
 
 pub use parse::{MalformedPolicy, ParseError, ParseStats, TextTraceSource, TraceFormat};
+pub use slice::{FootprintSlice, SlicedSource};
 pub use source::{TraceCursor, TraceSource};
 pub use stats::TraceStats;
 pub use sweep::{SweepSpec, SweepStream};

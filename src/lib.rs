@@ -14,9 +14,12 @@
 //! * [`workloads`] — synthetic Table 1 enterprise traces, microbenchmark sweeps,
 //!   the streaming `TraceSource` abstraction, and the MSR-CSV/blkparse text-trace
 //!   parser with its embedded sample corpus.
-//! * [`array`] — the multi-SSD array frontend: stripes one logical address
+//! * [`array`](mod@array) — the multi-SSD array frontend: stripes one logical address
 //!   space across N independent Sprinkler devices and replays traces in
 //!   parallel with merged host-level metrics.
+//! * [`tenants`] — the multi-tenant serving front: deficit-round-robin
+//!   fair-share admission with priority classes, token-bucket burst
+//!   isolation, and per-tenant QoS metrics ahead of the device scheduler.
 //! * [`experiments`] — one module per table/figure of the paper's evaluation,
 //!   the streaming replay boundary (bounded admission + logical-capacity
 //!   validation), and the named-scenario registry.
@@ -45,14 +48,15 @@
 //! ```text
 //! cargo build --release   # every crate
 //! cargo test -q           # unit + integration + property + doc tests
-//! cargo bench --no-run    # compiles the 15 bench targets in crates/bench
+//! cargo bench --no-run    # compiles the 18 bench targets in crates/bench
 //! ```
 //!
 //! Crate dependency order (each depends on the ones before it):
 //! `sprinkler_sim` → `sprinkler_flash` → `sprinkler_ssd` → `sprinkler_core`,
-//! with `sprinkler_workloads` (only needing `sim`) and `sprinkler_array` (the
-//! striped multi-device frontend) feeding `sprinkler_experiments` and
-//! `sprinkler_bench` on top.
+//! with `sprinkler_workloads` (only needing `sim`), `sprinkler_array` (the
+//! striped multi-device frontend), and `sprinkler_tenants` (the fair-share
+//! admission front) feeding `sprinkler_experiments` and `sprinkler_bench` on
+//! top.  `ARCHITECTURE.md` at the repo root walks the whole graph.
 
 #![warn(missing_docs)]
 
@@ -62,4 +66,5 @@ pub use sprinkler_experiments as experiments;
 pub use sprinkler_flash as flash;
 pub use sprinkler_sim as sim;
 pub use sprinkler_ssd as ssd;
+pub use sprinkler_tenants as tenants;
 pub use sprinkler_workloads as workloads;

@@ -53,3 +53,28 @@ fn single_device_replay_is_bit_identical() {
     );
     assert_eq!(first.io_count, 300);
 }
+
+#[test]
+fn tenant_storm_replays_identically() {
+    // The multi-tenant front adds three new decision streams on top of the
+    // device replay — deficit round-robin turn order, token-bucket refill
+    // arithmetic, and per-tenant metric attribution — so the storm cell (the
+    // most contended configuration: one lane at 8x volume against a bucket)
+    // gets its own double-replay gate.  Full struct equality covers the
+    // per-tenant histograms and SLO counters plus the admission stats.
+    use sprinkler::experiments::scenario::tenant_storm_outcome;
+    let scale = ExperimentScale::quick();
+    let first = tenant_storm_outcome(&scale, "storm", SchedulerKind::Spk3);
+    let second = tenant_storm_outcome(&scale, "storm", SchedulerKind::Spk3);
+    assert_eq!(
+        first.metrics, second.metrics,
+        "tenant-storm metrics diverged between two identical runs"
+    );
+    assert_eq!(
+        first.admission, second.admission,
+        "tenant-storm admission stats diverged between two identical runs"
+    );
+    // The gate must exercise the contended paths, not an idle front.
+    assert!(first.metrics.telemetry.tenant_throttles > 0);
+    assert!(first.metrics.telemetry.tenant_deferrals > 0);
+}
